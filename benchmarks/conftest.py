@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure/table of the paper (or a survey
+claim / design ablation indexed in DESIGN.md).  The convention:
+
+- ``run_*`` builds the workload, runs the simulation and returns rows;
+- the ``test_bench_*`` wrapper times it via pytest-benchmark (one round —
+  these are experiment regenerations, not micro-benchmarks), prints the
+  table through ``emit`` so it shows up without ``-s``, and asserts the
+  *shape* the paper reports (who wins, roughly by how much).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print past pytest's capture so tables land in the console/tee."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one full experiment run (no warmup, no repetition)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Load partitioning: where should each pipeline stage run?
+
+The survey: "Load partitioning executes portions of mobile's software on
+more than one device depending on energy and performance needs."
+
+A mobile processes camera frames through a three-stage pipeline
+(preprocess → detect → render).  Offloading saves CPU energy but ships
+bytes over the WLAN; the optimal cut moves as the intermediate data
+shrinks or the link slows.
+
+Run:  python examples/computation_offloading.py
+"""
+
+from repro.apps import PipelinePartitioner, Stage
+from repro.metrics import format_table
+
+
+def build(link_rate_bps: float) -> PipelinePartitioner:
+    stages = [
+        # Produces a compact feature map from the raw frame.
+        Stage("preprocess", mobile_cycles=40e6, output_bytes=30_000),
+        # The expensive stage.
+        Stage("detect", mobile_cycles=400e6, output_bytes=2_000),
+        # Cheap, and its output is what the user sees.
+        Stage("render", mobile_cycles=20e6, output_bytes=500),
+    ]
+    return PipelinePartitioner(
+        stages,
+        input_bytes=300_000,  # one raw VGA frame
+        result_bytes=500,
+        mobile_cycles_per_s=400e6,  # the iPAQ's PXA250
+        server_speedup=20.0,
+        link_rate_bps=link_rate_bps,
+        link_j_per_byte=2e-6,
+    )
+
+
+def main() -> None:
+    for label, rate in (("WLAN 5.5 Mb/s", 5.5e6), ("GPRS 32 kb/s", 32_000.0)):
+        partitioner = build(rate)
+        rows = []
+        for plan in partitioner.all_plans():
+            rows.append(
+                [
+                    plan.cut,
+                    plan.describe(partitioner.stages),
+                ]
+            )
+        print(
+            format_table(
+                ["cut", "plan"],
+                rows,
+                title=f"Partition plans over {label}",
+            )
+        )
+        best = partitioner.best_plan()
+        print(f"  energy-optimal: cut={best.cut} "
+              f"({best.mobile_energy_j:.4f} J, {best.latency_s * 1e3:.0f} ms)")
+        try:
+            best_rt = partitioner.best_plan(latency_budget_s=0.5)
+            print(f"  with 500 ms budget: cut={best_rt.cut} "
+                  f"({best_rt.mobile_energy_j:.4f} J, "
+                  f"{best_rt.latency_s * 1e3:.0f} ms)\n")
+        except ValueError:
+            print("  with 500 ms budget: infeasible on this link — every "
+                  "plan misses the deadline\n")
+
+
+if __name__ == "__main__":
+    main()

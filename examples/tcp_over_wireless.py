@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Transport layer: why TCP struggles over wireless and how proxies help.
+
+Plain TCP Reno interprets every wireless corruption loss as congestion
+and halves its window; a snoop agent at the base station retransmits
+locally and hides the loss, and a split connection isolates the wireless
+leg entirely.  This example sweeps the wireless loss rate and prints the
+goodput of all three, plus the snoop agent's internals.
+
+Run:  python examples/tcp_over_wireless.py
+"""
+
+import random
+
+from repro.metrics import format_table
+from repro.sim import Simulator
+from repro.transport import (
+    NetworkPath,
+    SnoopAgent,
+    TcpReceiver,
+    TcpSender,
+    run_split_connection,
+)
+
+TRANSFER = 500_000
+
+
+def plain(loss_rate: float) -> float:
+    sim = Simulator()
+    rng = random.Random(1)
+    loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+    reverse = NetworkPath(sim, 5e6, 0.05, deliver=lambda s: sender.on_ack(s))
+    receiver = TcpReceiver(sim, reverse)
+    forward = NetworkPath(sim, 5e6, 0.05, deliver=receiver.deliver, loss_process=loss)
+    sender = TcpSender(sim, forward, TRANSFER)
+    done = sender.start()
+    result = []
+
+    def wait(sim):
+        stats = yield done
+        result.append(stats.goodput_bps())
+
+    sim.process(wait(sim))
+    sim.run(until=900.0)
+    return result[0] if result else 0.0
+
+
+def snooped(loss_rate: float) -> tuple[float, int]:
+    sim = Simulator()
+    rng = random.Random(1)
+    loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+    wired_reverse = NetworkPath(sim, 10e6, 0.04, deliver=lambda s: sender.on_ack(s))
+    wireless_reverse = NetworkPath(
+        sim, 5e6, 0.01, deliver=lambda s: agent.backward_ack(s)
+    )
+    mobile = TcpReceiver(sim, wireless_reverse)
+    wireless_forward = NetworkPath(
+        sim, 5e6, 0.01, deliver=mobile.deliver, loss_process=loss
+    )
+    agent = SnoopAgent(sim, wireless_forward, wired_reverse)
+    wired_forward = NetworkPath(sim, 10e6, 0.04, deliver=agent.forward_data)
+    sender = TcpSender(sim, wired_forward, TRANSFER)
+    done = sender.start()
+    result = []
+
+    def wait(sim):
+        stats = yield done
+        result.append(stats.goodput_bps())
+
+    sim.process(wait(sim))
+    sim.run(until=900.0)
+    return (result[0] if result else 0.0), agent.local_retransmissions
+
+
+def split(loss_rate: float) -> float:
+    sim = Simulator()
+    rng = random.Random(1)
+    loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+    _w, _wl, done = run_split_connection(sim, TRANSFER, 10e6, 0.04, 5e6, 0.01, loss)
+    result = []
+
+    def wait(sim):
+        yield done
+        result.append(TRANSFER * 8 / sim.now)
+
+    sim.process(wait(sim))
+    sim.run(until=900.0)
+    return result[0] if result else 0.0
+
+
+def main() -> None:
+    rows = []
+    for loss_rate in (0.0, 0.01, 0.03, 0.05):
+        snoop_goodput, local_rexmit = snooped(loss_rate)
+        rows.append(
+            [
+                f"{loss_rate * 100:.0f}%",
+                plain(loss_rate) / 1e6,
+                snoop_goodput / 1e6,
+                split(loss_rate) / 1e6,
+                local_rexmit,
+            ]
+        )
+    print(
+        format_table(
+            ["wireless loss", "plain (Mb/s)", "snoop (Mb/s)", "split (Mb/s)", "snoop local rexmit"],
+            rows,
+            title=f"TCP goodput over a lossy wireless hop ({TRANSFER // 1000} kB transfer)",
+        )
+    )
+    print("\nPlain TCP mistakes corruption for congestion; the base-station"
+          "\nagents recover locally on the short wireless RTT instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is configured in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e . --no-use-pep517`) on
+machines where `bdist_wheel` is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Power Saving Techniques for Wireless LANs" (DATE 2005).
+
+The package is organised by protocol layer, mirroring the paper's survey:
+
+- :mod:`repro.sim` — discrete-event simulation kernel (substrate).
+- :mod:`repro.phy` — radio power-state machines, channel models, batteries.
+- :mod:`repro.mac` — 802.11 DCF/PSM, EC-MAC, aggregation, PAMAS, Bluetooth.
+- :mod:`repro.link` — ARQ, FEC, adaptive error control, channel prediction,
+  energy-aware routing.
+- :mod:`repro.transport` — UDP and a simplified TCP Reno, plus wireless
+  mitigations (split connection, snoop).
+- :mod:`repro.oslayer` — OS-level device shutdown policies and CPU DVS.
+- :mod:`repro.apps` — application traffic generators and proxy adaptations.
+- :mod:`repro.core` — the paper's contribution: the Hotspot server and
+  client resource managers, QoS contracts and burst schedulers.
+- :mod:`repro.devices` — calibrated device power profiles (iPAQ 3970,
+  802.11b CF card, Bluetooth module, GPRS).
+- :mod:`repro.metrics` — energy accounting, QoS metrics, timelines and
+  report rendering.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+
+__all__ = ["Simulator", "__version__"]

@@ -1,0 +1,177 @@
+"""Command-line front end: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig1                 # sample schedule diagram
+    python -m repro fig2                 # average power comparison
+    python -m repro sweep-schedulers     # ablation A-sched
+    python -m repro sweep-bursts         # ablation A-burst
+    python -m repro --help
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import run_hotspot_scenario, run_unscheduled_scenario
+from repro.core.scheduling import scheduler_names
+from repro.metrics import format_table, render_schedule_timeline
+from repro.metrics.energy import wnic_power_saving_fraction
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    result = run_hotspot_scenario(
+        n_clients=args.clients,
+        duration_s=args.duration,
+        bluetooth_quality_script=[(0.0, 1.0), (args.duration * 2 / 3, 0.2)],
+        seed=args.seed,
+    )
+    print(render_schedule_timeline(result.radios, 0.0, args.duration, columns=96))
+    print(f"\nQoS maintained: {result.qos_maintained()}")
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    wlan = run_unscheduled_scenario(
+        "wlan", n_clients=args.clients, duration_s=args.duration, seed=args.seed
+    )
+    bt = run_unscheduled_scenario(
+        "bluetooth", n_clients=args.clients, duration_s=args.duration, seed=args.seed
+    )
+    hotspot = run_hotspot_scenario(
+        n_clients=args.clients,
+        duration_s=args.duration,
+        scheduler=args.scheduler,
+        bluetooth_quality_script=[(0.0, 1.0), (args.duration * 3 / 4, 0.2)],
+        seed=args.seed,
+    )
+    saving = wnic_power_saving_fraction(
+        wlan.mean_wnic_power_w(), hotspot.mean_wnic_power_w()
+    )
+    if args.json:
+        payload = {
+            "clients": args.clients,
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "configurations": [
+                {
+                    "label": r.label,
+                    "wnic_power_w": r.mean_wnic_power_w(),
+                    "device_power_w": r.mean_total_power_w(),
+                    "qos_maintained": r.qos_maintained(),
+                }
+                for r in (wlan, bt, hotspot)
+            ],
+            "wnic_saving_fraction": saving,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [r.label, r.mean_wnic_power_w(), r.mean_total_power_w(), r.qos_maintained()]
+        for r in (wlan, bt, hotspot)
+    ]
+    print(
+        format_table(
+            ["configuration", "WNIC power (W)", "device power (W)", "QoS"],
+            rows,
+            title=f"Figure 2 ({args.clients} clients, {args.duration:.0f}s)",
+        )
+    )
+    print(f"\nWNIC saving vs unscheduled WLAN: {saving * 100:.1f}%  [paper: 97%]")
+    return 0
+
+
+def cmd_sweep_schedulers(args: argparse.Namespace) -> int:
+    rows = []
+    for name in scheduler_names():
+        result = run_hotspot_scenario(
+            n_clients=args.clients,
+            duration_s=args.duration,
+            scheduler=name,
+            seed=args.seed,
+        )
+        rows.append(
+            [name, result.mean_wnic_power_w(), result.qos_maintained()]
+        )
+    print(
+        format_table(
+            ["scheduler", "WNIC power (W)", "QoS"], rows, title="Scheduler sweep"
+        )
+    )
+    return 0
+
+
+def cmd_sweep_bursts(args: argparse.Namespace) -> int:
+    rows = []
+    for burst in (10_000, 20_000, 40_000, 80_000, 160_000):
+        result = run_hotspot_scenario(
+            n_clients=args.clients,
+            duration_s=args.duration,
+            burst_bytes=burst,
+            client_buffer_bytes=int(burst * 2.4),
+            interfaces=("wlan",),
+            server_prefetch_s=60.0,
+            seed=args.seed,
+        )
+        rows.append([burst, result.mean_wnic_power_w(), result.qos_maintained()])
+    print(
+        format_table(
+            ["min burst (B)", "WNIC power (W)", "QoS"],
+            rows,
+            title="Burst-size sweep (WLAN-only)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--clients", type=int, default=3, help="number of clients")
+    shared.add_argument(
+        "--duration", type=float, default=60.0, help="simulated seconds"
+    )
+    shared.add_argument("--seed", type=int, default=0, help="experiment seed")
+    shared.add_argument(
+        "--scheduler",
+        default="edf",
+        choices=scheduler_names(),
+        help="burst scheduler for the Hotspot",
+    )
+    shared.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables (fig2 only)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Power Saving Techniques for Wireless LANs' (DATE 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "fig1", parents=[shared], help="render the sample schedule (paper Figure 1)"
+    )
+    sub.add_parser(
+        "fig2", parents=[shared], help="average power comparison (paper Figure 2)"
+    )
+    sub.add_parser("sweep-schedulers", parents=[shared], help="scheduler ablation")
+    sub.add_parser("sweep-bursts", parents=[shared], help="burst-size ablation")
+    return parser
+
+
+_COMMANDS = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "sweep-schedulers": cmd_sweep_schedulers,
+    "sweep-bursts": cmd_sweep_bursts,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

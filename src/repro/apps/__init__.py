@@ -1,0 +1,34 @@
+"""Application layer: traffic models, proxy adaptation, load partitioning.
+
+- :mod:`repro.apps.traffic` — the workloads of the paper's evaluation
+  (high-quality MP3 streaming) plus Poisson, on/off web browsing and a
+  GOP-structured video model;
+- :mod:`repro.apps.proxy` — proxy-based control: *"dropping video content
+  and delivering only audio in adverse conditions"*, and bitrate
+  transcoding;
+- :mod:`repro.apps.partitioning` — load partitioning: *"executes portions
+  of mobile's software on more than one device depending on energy and
+  performance needs"*.
+"""
+
+from repro.apps.traffic import (
+    Mp3Stream,
+    OnOffTraffic,
+    PoissonTraffic,
+    TraceTraffic,
+    VideoStream,
+)
+from repro.apps.proxy import MediaProxy, TranscodingProxy
+from repro.apps.partitioning import PipelinePartitioner, Stage
+
+__all__ = [
+    "MediaProxy",
+    "Mp3Stream",
+    "OnOffTraffic",
+    "PipelinePartitioner",
+    "PoissonTraffic",
+    "Stage",
+    "TraceTraffic",
+    "TranscodingProxy",
+    "VideoStream",
+]

@@ -1,0 +1,162 @@
+"""Load partitioning: run which pipeline stages where?
+
+The survey (§1): *"Load partitioning executes portions of mobile's
+software on more than one device depending on energy and performance
+needs."*
+
+The model is a linear processing pipeline (the classic offloading
+formulation): stage *i* consumes the previous stage's output and produces
+``output_bytes`` for the next.  Running a stage on the mobile costs CPU
+energy; running it on the server is free for the mobile but the data at
+the cut point must cross the wireless link, costing transfer energy and
+time on both the way up and (for results) the way down.
+
+:class:`PipelinePartitioner` enumerates all cut points of the form
+"stages < k run on the mobile, stages >= k on the server" (and the
+reverse orientation for download-style pipelines) and picks the
+mobile-energy-optimal cut that meets the latency constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage.
+
+    Attributes
+    ----------
+    name:
+        Identifier.
+    mobile_cycles:
+        CPU cycles to run the stage on the mobile.
+    output_bytes:
+        Size of the stage's output handed to the next stage.
+    """
+
+    name: str
+    mobile_cycles: float
+    output_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.mobile_cycles < 0 or self.output_bytes < 0:
+            raise ValueError(f"stage {self.name!r} has negative parameters")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A chosen cut: stages [0, cut) on the mobile, [cut, n) on the server."""
+
+    cut: int
+    mobile_energy_j: float
+    latency_s: float
+    transfer_bytes: int
+
+    def describe(self, stages: Sequence[Stage]) -> str:
+        local = [s.name for s in stages[: self.cut]]
+        remote = [s.name for s in stages[self.cut :]]
+        return (
+            f"mobile: {local or ['-']}, server: {remote or ['-']}, "
+            f"E={self.mobile_energy_j:.4f} J, T={self.latency_s * 1e3:.1f} ms"
+        )
+
+
+class PipelinePartitioner:
+    """Energy-optimal cut-point selection for a linear pipeline.
+
+    Parameters
+    ----------
+    stages:
+        The pipeline, in execution order.
+    input_bytes:
+        Size of the pipeline's initial input (already on the mobile).
+    result_bytes:
+        Size of the final result the mobile must end up holding.
+    mobile_j_per_cycle:
+        Mobile CPU energy per cycle.
+    mobile_cycles_per_s:
+        Mobile CPU speed.
+    server_speedup:
+        How much faster the server runs a stage (affects latency only).
+    link_rate_bps:
+        Wireless link rate for cut-point transfers.
+    link_j_per_byte:
+        Mobile energy to move one byte over the link (tx or rx).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        input_bytes: int,
+        result_bytes: int = 0,
+        mobile_j_per_cycle: float = 0.8e-9,
+        mobile_cycles_per_s: float = 400e6,
+        server_speedup: float = 10.0,
+        link_rate_bps: float = 5.5e6,
+        link_j_per_byte: float = 2e-6,
+    ) -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        if input_bytes < 0 or result_bytes < 0:
+            raise ValueError("byte counts must be >= 0")
+        if mobile_j_per_cycle <= 0 or mobile_cycles_per_s <= 0:
+            raise ValueError("mobile CPU parameters must be positive")
+        if server_speedup <= 0 or link_rate_bps <= 0 or link_j_per_byte < 0:
+            raise ValueError("server/link parameters invalid")
+        self.stages = list(stages)
+        self.input_bytes = input_bytes
+        self.result_bytes = result_bytes
+        self.mobile_j_per_cycle = mobile_j_per_cycle
+        self.mobile_cycles_per_s = mobile_cycles_per_s
+        self.server_speedup = server_speedup
+        self.link_rate_bps = link_rate_bps
+        self.link_j_per_byte = link_j_per_byte
+
+    def _bytes_at_cut(self, cut: int) -> int:
+        """Data crossing the link when cutting before stage ``cut``."""
+        if cut == 0:
+            return self.input_bytes
+        return self.stages[cut - 1].output_bytes
+
+    def evaluate(self, cut: int) -> PartitionPlan:
+        """Cost one specific cut point (0 = everything on the server)."""
+        if not 0 <= cut <= len(self.stages):
+            raise ValueError(f"cut must be in [0, {len(self.stages)}]")
+        local_cycles = sum(s.mobile_cycles for s in self.stages[:cut])
+        remote_cycles = sum(s.mobile_cycles for s in self.stages[cut:])
+        energy = local_cycles * self.mobile_j_per_cycle
+        latency = local_cycles / self.mobile_cycles_per_s
+        latency += remote_cycles / (self.mobile_cycles_per_s * self.server_speedup)
+        transfer = 0
+        if cut < len(self.stages):
+            # Ship the cut-point data up, and the final result back down.
+            up = self._bytes_at_cut(cut)
+            down = self.result_bytes
+            transfer = up + down
+            energy += transfer * self.link_j_per_byte
+            latency += transfer * 8.0 / self.link_rate_bps
+        return PartitionPlan(cut, energy, latency, transfer)
+
+    def best_plan(self, latency_budget_s: Optional[float] = None) -> PartitionPlan:
+        """Minimum-mobile-energy cut meeting the latency budget.
+
+        Raises if no cut satisfies the budget (the all-mobile cut always
+        exists, so only an aggressive budget can fail).
+        """
+        feasible: List[PartitionPlan] = []
+        for cut in range(len(self.stages) + 1):
+            plan = self.evaluate(cut)
+            if latency_budget_s is None or plan.latency_s <= latency_budget_s:
+                feasible.append(plan)
+        if not feasible:
+            raise ValueError(
+                f"no partition meets latency budget {latency_budget_s!r} s"
+            )
+        return min(feasible, key=lambda p: (p.mobile_energy_j, p.latency_s))
+
+    def all_plans(self) -> List[PartitionPlan]:
+        """Every cut point, for sweep-style analysis."""
+        return [self.evaluate(cut) for cut in range(len(self.stages) + 1)]

@@ -1,0 +1,231 @@
+"""Application traffic generators.
+
+All sources share one shape: :meth:`arrivals` lazily yields
+``(time_s, nbytes, kind)`` tuples with non-decreasing times, which both
+the analytical benches and the DES pump (:meth:`TrafficSource.start`)
+consume.  The MP3 model matches the paper's evaluation workload
+("high-quality MP3 audio"): MPEG-1 Layer III frames carry 1152 samples,
+so at 44.1 kHz a frame lands every ~26.12 ms and carries
+``bitrate × 0.02612 / 8`` bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+#: One traffic arrival: (time in seconds, payload bytes, kind tag).
+Arrival = Tuple[float, int, str]
+
+#: Samples per MPEG-1 Layer III frame / the standard sample rate.
+MP3_FRAME_INTERVAL_S = 1152 / 44_100.0
+
+
+class TrafficSource:
+    """Base class wiring an arrival stream into the simulator."""
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        """Yield ``(time, nbytes, kind)`` with time < until_s, ordered."""
+        raise NotImplementedError
+
+    def total_bytes(self, until_s: float) -> int:
+        """Payload volume generated up to ``until_s``."""
+        return sum(nbytes for _t, nbytes, _k in self.arrivals(until_s))
+
+    def mean_rate_bps(self, until_s: float) -> float:
+        """Average payload rate over ``[0, until_s)``."""
+        if until_s <= 0:
+            return 0.0
+        return self.total_bytes(until_s) * 8.0 / until_s
+
+    def start(
+        self,
+        sim: "Simulator",
+        sink: Callable[[int, str], None],
+        until_s: float,
+    ):
+        """Pump arrivals into ``sink(nbytes, kind)`` in simulated time."""
+
+        def pump():
+            for time_s, nbytes, kind in self.arrivals(until_s):
+                if time_s > sim.now:
+                    yield sim.timeout(time_s - sim.now)
+                sink(nbytes, kind)
+
+        return sim.process(pump(), name=f"{type(self).__name__}-pump")
+
+
+class Mp3Stream(TrafficSource):
+    """Constant-bitrate MP3 audio (optionally mildly VBR).
+
+    Parameters
+    ----------
+    bitrate_bps:
+        Encoded audio rate: 128 kb/s is "high quality" for the paper's
+        2005-era evaluation; 320 kb/s is the format maximum.
+    vbr_fraction:
+        0 gives strict CBR; 0.2 varies frame sizes +/-20 %.
+    rng:
+        Required when ``vbr_fraction > 0``.
+    """
+
+    def __init__(
+        self,
+        bitrate_bps: float = 128_000.0,
+        vbr_fraction: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if not 0.0 <= vbr_fraction < 1.0:
+            raise ValueError("VBR fraction must be in [0, 1)")
+        if vbr_fraction > 0 and rng is None:
+            raise ValueError("VBR mode needs an rng")
+        self.bitrate_bps = bitrate_bps
+        self.vbr_fraction = vbr_fraction
+        self.rng = rng
+
+    @property
+    def frame_bytes(self) -> int:
+        """Nominal bytes per MP3 frame."""
+        return max(int(self.bitrate_bps * MP3_FRAME_INTERVAL_S / 8.0), 1)
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        time_s = 0.0
+        while time_s < until_s:
+            nbytes = self.frame_bytes
+            if self.vbr_fraction > 0:
+                scale = 1.0 + self.rng.uniform(-self.vbr_fraction, self.vbr_fraction)
+                nbytes = max(int(nbytes * scale), 1)
+            yield (time_s, nbytes, "audio")
+            time_s += MP3_FRAME_INTERVAL_S
+
+
+class PoissonTraffic(TrafficSource):
+    """Memoryless packet arrivals with fixed packet size."""
+
+    def __init__(
+        self,
+        mean_interarrival_s: float,
+        packet_bytes: int,
+        rng: random.Random,
+        kind: str = "data",
+    ) -> None:
+        if mean_interarrival_s <= 0:
+            raise ValueError("mean interarrival must be positive")
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self.mean_interarrival_s = mean_interarrival_s
+        self.packet_bytes = packet_bytes
+        self.rng = rng
+        self.kind = kind
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        time_s = self.rng.expovariate(1.0 / self.mean_interarrival_s)
+        while time_s < until_s:
+            yield (time_s, self.packet_bytes, self.kind)
+            time_s += self.rng.expovariate(1.0 / self.mean_interarrival_s)
+
+
+class OnOffTraffic(TrafficSource):
+    """Web-browsing style: bursts of downloads separated by think times.
+
+    During an ON period, packets arrive back-to-back at
+    ``packet_interval_s``; OFF periods are exponential think times.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mean_on_s: float = 2.0,
+        mean_off_s: float = 10.0,
+        packet_bytes: int = 1460,
+        packet_interval_s: float = 0.01,
+    ) -> None:
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("ON/OFF means must be positive")
+        if packet_bytes <= 0 or packet_interval_s <= 0:
+            raise ValueError("packet parameters must be positive")
+        self.rng = rng
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self.packet_bytes = packet_bytes
+        self.packet_interval_s = packet_interval_s
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        time_s = self.rng.expovariate(1.0 / self.mean_off_s)
+        while time_s < until_s:
+            on_length = self.rng.expovariate(1.0 / self.mean_on_s)
+            burst_end = time_s + on_length
+            while time_s < min(burst_end, until_s):
+                yield (time_s, self.packet_bytes, "web")
+                time_s += self.packet_interval_s
+            time_s = burst_end + self.rng.expovariate(1.0 / self.mean_off_s)
+
+
+class VideoStream(TrafficSource):
+    """GOP-structured video: periodic large I-frames, small P-frames.
+
+    Interleave with :class:`Mp3Stream` to feed the drop-video-keep-audio
+    proxy experiment.
+    """
+
+    def __init__(
+        self,
+        frame_rate_fps: float = 15.0,
+        i_frame_bytes: int = 12_000,
+        p_frame_bytes: int = 2_500,
+        gop_length: int = 15,
+    ) -> None:
+        if frame_rate_fps <= 0:
+            raise ValueError("frame rate must be positive")
+        if i_frame_bytes <= 0 or p_frame_bytes <= 0:
+            raise ValueError("frame sizes must be positive")
+        if gop_length < 1:
+            raise ValueError("GOP length must be >= 1")
+        self.frame_rate_fps = frame_rate_fps
+        self.i_frame_bytes = i_frame_bytes
+        self.p_frame_bytes = p_frame_bytes
+        self.gop_length = gop_length
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        interval = 1.0 / self.frame_rate_fps
+        index = 0
+        time_s = 0.0
+        while time_s < until_s:
+            if index % self.gop_length == 0:
+                yield (time_s, self.i_frame_bytes, "video-i")
+            else:
+                yield (time_s, self.p_frame_bytes, "video-p")
+            index += 1
+            time_s += interval
+
+
+class TraceTraffic(TrafficSource):
+    """Replay an explicit arrival list (for tests and captured traces)."""
+
+    def __init__(self, trace: Iterable[Arrival]) -> None:
+        self.trace: List[Arrival] = sorted(trace, key=lambda a: a[0])
+        for _time, nbytes, _kind in self.trace:
+            if nbytes <= 0:
+                raise ValueError("trace packet sizes must be positive")
+        if any(t < 0 for t, _n, _k in self.trace):
+            raise ValueError("trace times must be >= 0")
+
+    def arrivals(self, until_s: float) -> Iterator[Arrival]:
+        for time_s, nbytes, kind in self.trace:
+            if time_s >= until_s:
+                break
+            yield (time_s, nbytes, kind)
+
+
+def merge_arrivals(sources: Iterable[TrafficSource], until_s: float) -> List[Arrival]:
+    """Time-merge several sources into one ordered arrival list."""
+    merged: List[Arrival] = []
+    for source in sources:
+        merged.extend(source.arrivals(until_s))
+    merged.sort(key=lambda a: a[0])
+    return merged

@@ -1,0 +1,242 @@
+"""The client resource manager's view of one wireless interface.
+
+The Hotspot operates *"at a much higher level of abstraction"* than the
+MAC: it thinks in bursts, effective goodput and per-burst wake overhead.
+:class:`ManagedInterface` wraps a :class:`~repro.phy.radio.Radio` into
+exactly that view: ``wake()``, ``transfer(nbytes)``, ``sleep()``, plus a
+link-quality signal the server's interface-selection policy thresholds.
+
+The effective rates default to what the full MAC simulations in
+:mod:`repro.mac` actually achieve (802.11b at 11 Mb/s delivers ~5 Mb/s
+of payload after DCF overhead; Bluetooth DH5 ~0.61 Mb/s), keeping the
+burst-level abstraction honest against the packet-level substrate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.devices.profiles import (
+    BLUETOOTH_ACL_RATE_BPS,
+    GPRS_RATE_BPS,
+    bluetooth_module,
+    gprs_modem,
+    wlan_cf_card,
+)
+from repro.mac.bluetooth import BluetoothLink
+from repro.phy.radio import Radio
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+#: Link quality signal: ``f(time) -> [0, 1]``.
+QualitySignal = Callable[[float], float]
+
+
+class ManagedInterface:
+    """One WNIC under client-resource-manager control.
+
+    Parameters
+    ----------
+    name:
+        Interface name ("wlan", "bluetooth", "gprs", ...).
+    radio:
+        The underlying power-state machine.
+    effective_rate_bps:
+        Burst goodput (nominal rate minus MAC/baseband overhead).
+    resting_state:
+        Awake-but-not-transferring state ("idle" / "connected").
+    active_state:
+        State during data transfer ("rx" for downlink WLAN, "active").
+    sleep_state:
+        Between-burst state ("off" for WLAN, "park" for Bluetooth —
+        the paper's Figure 1 caption).
+    quality:
+        Optional link-quality signal for interface selection.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        radio: Radio,
+        effective_rate_bps: float,
+        resting_state: str,
+        active_state: str,
+        sleep_state: str,
+        quality: Optional[QualitySignal] = None,
+    ) -> None:
+        if effective_rate_bps <= 0:
+            raise ValueError("effective rate must be positive")
+        for state in (resting_state, active_state, sleep_state):
+            radio.model._require(state)
+        self.sim = sim
+        self.name = name
+        self.radio = radio
+        self.effective_rate_bps = effective_rate_bps
+        self.resting_state = resting_state
+        self.active_state = active_state
+        self.sleep_state = sleep_state
+        self.quality = quality
+        self.bytes_transferred = 0
+        self.bursts = 0
+        # Serialises state commands so two concurrent wake/sleep calls
+        # cannot race the radio's single transition slot.
+        self._control = Resource(sim)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_asleep(self) -> bool:
+        return self.radio.state == self.sleep_state and not self.radio.in_transition
+
+    @property
+    def is_awake(self) -> bool:
+        return self.radio.state in (self.resting_state, self.active_state) and (
+            not self.radio.in_transition
+        )
+
+    def quality_at(self, time_s: float) -> float:
+        """Link quality now (1.0 when no signal is configured)."""
+        return self.quality(time_s) if self.quality is not None else 1.0
+
+    def transfer_duration_s(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("byte count must be >= 0")
+        return nbytes * 8.0 / self.effective_rate_bps
+
+    def wake_overhead_s(self) -> float:
+        """Latency to come out of the sleep state."""
+        return self.radio.model.transition(self.sleep_state, self.resting_state).latency_s
+
+    def burst_overhead_s(self) -> float:
+        """Fixed wake + re-sleep time a burst pays around its transfer."""
+        down = self.radio.model.transition(self.resting_state, self.sleep_state)
+        return self.wake_overhead_s() + down.latency_s
+
+    # -- control (all return processes to yield on) ------------------------------
+
+    def wake(self):
+        """Bring the radio to the resting state."""
+        return self.sim.process(self._goto(self.resting_state), name=f"{self.name}-wake")
+
+    def sleep(self):
+        """Drop the radio to the between-burst sleep state."""
+        return self.sim.process(self._goto(self.sleep_state), name=f"{self.name}-sleep")
+
+    def _goto(self, target: str):
+        with self._control.request() as grant:
+            yield grant
+            while self.radio.in_transition:
+                yield self.sim.timeout(0.0005)
+            if self.radio.state != target:
+                yield self.radio.transition_to(target)
+
+    def transfer(self, nbytes: int):
+        """Receive a burst: active state for the transfer duration.
+
+        The interface must be awake (the caller sequences wake/transfer/
+        sleep); returns the transfer duration.
+        """
+        return self.sim.process(self._transfer_body(nbytes), name=f"{self.name}-burst")
+
+    def _transfer_body(self, nbytes: int):
+        duration = self.transfer_duration_s(nbytes)
+        yield from self._goto(self.active_state)
+        if duration > 0:
+            yield self.sim.timeout(duration)
+        yield from self._goto(self.resting_state)
+        self.bytes_transferred += nbytes
+        self.bursts += 1
+        return duration
+
+    def __repr__(self) -> str:
+        return f"<ManagedInterface {self.name!r} state={self.radio.state!r}>"
+
+
+#: Effective WLAN goodput at 11 Mb/s: the repro.mac DCF simulation
+#: saturates at ~6.0 Mb/s of MAC payload with 1472-byte frames
+#: (tests/integration/test_calibration.py); minus ~8 % transport-header
+#: overhead that burst payloads carry, the Hotspot sees ~5.5 Mb/s.
+WLAN_EFFECTIVE_RATE_BPS = 5.5e6
+
+#: Effective Bluetooth DH5 goodput after baseband overhead.
+BLUETOOTH_EFFECTIVE_RATE_BPS = BLUETOOTH_ACL_RATE_BPS * 0.85
+
+
+def wlan_interface(
+    sim: "Simulator",
+    name: str = "wlan",
+    quality: Optional[QualitySignal] = None,
+    effective_rate_bps: float = WLAN_EFFECTIVE_RATE_BPS,
+) -> ManagedInterface:
+    """A WLAN CF-card interface: off between bursts, rx during them."""
+    radio = Radio(sim, wlan_cf_card(), name=name)
+    return ManagedInterface(
+        sim,
+        name,
+        radio,
+        effective_rate_bps=effective_rate_bps,
+        resting_state="idle",
+        active_state="rx",
+        sleep_state="off",
+        quality=quality,
+    )
+
+
+def bluetooth_interface(
+    sim: "Simulator",
+    name: str = "bluetooth",
+    quality: Optional[QualitySignal] = None,
+    effective_rate_bps: float = BLUETOOTH_EFFECTIVE_RATE_BPS,
+    with_park_beacons: bool = True,
+) -> ManagedInterface:
+    """A Bluetooth interface: parked between bursts, active during them.
+
+    When ``with_park_beacons`` is set, the periodic park-beacon listens
+    are charged via a :class:`~repro.mac.bluetooth.BluetoothLink` sharing
+    the same radio.
+    """
+    radio = Radio(sim, bluetooth_module(), name=name)
+    if with_park_beacons:
+        BluetoothLink(sim, radio)  # its beacon loop charges park listens
+    return ManagedInterface(
+        sim,
+        name,
+        radio,
+        effective_rate_bps=effective_rate_bps,
+        resting_state="connected",
+        active_state="active",
+        sleep_state="park",
+        quality=quality,
+    )
+
+
+#: Effective GPRS goodput (CS-2 coding, protocol overhead).
+GPRS_EFFECTIVE_RATE_BPS = GPRS_RATE_BPS * 0.8
+
+
+def gprs_interface(
+    sim: "Simulator",
+    name: str = "gprs",
+    quality: Optional[QualitySignal] = None,
+    effective_rate_bps: float = GPRS_EFFECTIVE_RATE_BPS,
+) -> ManagedInterface:
+    """A GPRS interface: standby between bursts, transfer during them.
+
+    Slow but with a very frugal standby — the wide-area fallback in the
+    paper's heterogeneous-interface scenario ("mobiles themselves support
+    multiple wireless interfaces, such as WLAN and GPRS").
+    """
+    radio = Radio(sim, gprs_modem(), name=name)
+    return ManagedInterface(
+        sim,
+        name,
+        radio,
+        effective_rate_bps=effective_rate_bps,
+        resting_state="ready",
+        active_state="transfer",
+        sleep_state="standby",
+        quality=quality,
+    )

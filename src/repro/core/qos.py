@@ -1,0 +1,73 @@
+"""Quality-of-service contracts between clients and the Hotspot server.
+
+The paper: the server's *"quality of ... policies increases since it
+knows more about the clients in its network, such as their QoS needs,
+battery levels, current conditions in the channel etc."*  A
+:class:`QoSContract` is the client-side resource manager's aggregate of
+exactly that information, registered with the server at admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class QoSContract:
+    """What a client stream needs and what the client can absorb.
+
+    Attributes
+    ----------
+    client:
+        Client identifier.
+    stream_rate_bps:
+        Sustained payload rate the application consumes (MP3 bitrate).
+    client_buffer_bytes:
+        Client-side buffer the server may fill per burst; bounds burst
+        size ("10s of Kbytes at a time" in the paper).
+    prebuffer_s:
+        Start-up buffering the application tolerates.
+    max_stall_s:
+        Maximum tolerable playback stall (0 = none, the paper's bar).
+    weight:
+        Relative share for weighted schedulers.
+    battery_level:
+        Client's state of charge in [0, 1] — schedulers may favour
+        low-battery clients.
+    """
+
+    client: str
+    stream_rate_bps: float
+    client_buffer_bytes: int = 64_000
+    prebuffer_s: float = 1.0
+    max_stall_s: float = 0.0
+    weight: float = 1.0
+    battery_level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stream_rate_bps <= 0:
+            raise ValueError("stream rate must be positive")
+        if self.client_buffer_bytes <= 0:
+            raise ValueError("client buffer must be positive")
+        if self.prebuffer_s < 0 or self.max_stall_s < 0:
+            raise ValueError("prebuffer and stall bounds must be >= 0")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 0.0 <= self.battery_level <= 1.0:
+            raise ValueError("battery level must be in [0, 1]")
+
+    @property
+    def stream_rate_Bps(self) -> float:
+        """Stream rate in bytes/second."""
+        return self.stream_rate_bps / 8.0
+
+    def buffer_playback_s(self) -> float:
+        """Seconds of playback a full client buffer holds."""
+        return self.client_buffer_bytes / self.stream_rate_Bps
+
+    def burst_period_s(self, burst_bytes: int) -> float:
+        """How often bursts of ``burst_bytes`` must arrive to sustain
+        playback."""
+        if burst_bytes <= 0:
+            raise ValueError("burst size must be positive")
+        return burst_bytes / self.stream_rate_Bps

@@ -1,0 +1,57 @@
+"""Logical link layer: error control, channel prediction, routing.
+
+Implements the survey's link-layer techniques:
+
+- :mod:`repro.link.arq` — stop-and-wait, go-back-N and selective-repeat
+  ARQ with full energy accounting ("trading off retransmissions ...");
+- :mod:`repro.link.fec` — parametric block FEC ("longer packet sizes due
+  to Forward Error Correction") and hybrid ARQ/FEC;
+- :mod:`repro.link.adaptive` — error-control adaptation to the current
+  channel state;
+- :mod:`repro.link.prediction` — channel-state predictors and their
+  cost/accuracy/energy trade-off;
+- :mod:`repro.link.routing` — energy-efficient ad-hoc routing policies.
+"""
+
+from repro.link.arq import (
+    ArqStats,
+    BitPipe,
+    GoBackNArq,
+    SelectiveRepeatArq,
+    StopAndWaitArq,
+)
+from repro.link.fec import FecCode, HybridArqFec, fec_energy_per_good_bit
+from repro.link.adaptive import AdaptiveErrorControl, ErrorControlScheme
+from repro.link.prediction import (
+    EwmaPredictor,
+    LastStatePredictor,
+    MarkovPredictor,
+    evaluate_predictor,
+)
+from repro.link.routing import (
+    AdHocNetwork,
+    max_lifetime_route,
+    min_energy_route,
+    min_hop_route,
+)
+
+__all__ = [
+    "AdHocNetwork",
+    "AdaptiveErrorControl",
+    "ArqStats",
+    "BitPipe",
+    "ErrorControlScheme",
+    "EwmaPredictor",
+    "FecCode",
+    "GoBackNArq",
+    "HybridArqFec",
+    "LastStatePredictor",
+    "MarkovPredictor",
+    "SelectiveRepeatArq",
+    "StopAndWaitArq",
+    "evaluate_predictor",
+    "fec_energy_per_good_bit",
+    "max_lifetime_route",
+    "min_energy_route",
+    "min_hop_route",
+]

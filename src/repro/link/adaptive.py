@@ -1,0 +1,147 @@
+"""Channel-adaptive error control.
+
+The survey (§1): *"Adaptation of ARQ to the current channel state is
+another enhancement."*  :class:`AdaptiveErrorControl` keeps an online
+estimate of the frame success rate (an exponentially weighted moving
+average over recent outcomes) and switches between configured
+:class:`ErrorControlScheme`\\ s — e.g. plain ARQ when the channel looks
+clean, progressively heavier FEC as it degrades.
+
+The controller is deliberately protocol-agnostic: it only chooses *which
+scheme the next frame uses*; the energy consequences are computed by the
+scheme's analytical model or by driving the simulation protocols in
+:mod:`repro.link.arq` / :mod:`repro.link.fec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.link.fec import FecCode
+
+
+@dataclass(frozen=True)
+class ErrorControlScheme:
+    """One selectable operating mode of the link.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    code:
+        The FEC code used (``None`` = plain ARQ, no coding).
+    min_success_rate:
+        The controller selects the *lightest* scheme whose
+        ``min_success_rate`` is at or below the current estimate — i.e.
+        this is the estimated raw frame success rate above which the
+        scheme is considered adequate.
+    """
+
+    name: str
+    code: Optional[FecCode]
+    min_success_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_success_rate <= 1.0:
+            raise ValueError("min_success_rate must be in [0, 1]")
+
+    @property
+    def overhead(self) -> float:
+        """Coding redundancy factor (1.0 for plain ARQ)."""
+        return self.code.overhead if self.code is not None else 1.0
+
+
+def default_schemes() -> list[ErrorControlScheme]:
+    """ARQ-only through heavy FEC, thresholds tuned for 1 kB frames."""
+    from repro.link.fec import STANDARD_CODES
+
+    return [
+        ErrorControlScheme("arq-only", None, min_success_rate=0.90),
+        ErrorControlScheme("fec-light", STANDARD_CODES["light"], 0.60),
+        ErrorControlScheme("fec-medium", STANDARD_CODES["medium"], 0.25),
+        ErrorControlScheme("fec-heavy", STANDARD_CODES["heavy"], 0.0),
+    ]
+
+
+class AdaptiveErrorControl:
+    """EWMA success-rate estimator driving scheme selection.
+
+    Parameters
+    ----------
+    schemes:
+        Candidate schemes ordered lightest-first; the last one must have
+        ``min_success_rate == 0`` so some scheme is always eligible.
+    smoothing:
+        EWMA weight of the newest observation, in (0, 1].
+    initial_estimate:
+        Optimistic start (1.0 = assume a clean channel).
+    hysteresis:
+        Extra margin required before switching to a *lighter* scheme,
+        suppressing mode flapping on noisy estimates.
+    """
+
+    def __init__(
+        self,
+        schemes: Optional[Sequence[ErrorControlScheme]] = None,
+        smoothing: float = 0.1,
+        initial_estimate: float = 1.0,
+        hysteresis: float = 0.05,
+    ) -> None:
+        self.schemes = list(schemes) if schemes is not None else default_schemes()
+        if not self.schemes:
+            raise ValueError("need at least one scheme")
+        if self.schemes[-1].min_success_rate != 0.0:
+            raise ValueError("the last scheme must accept any channel "
+                             "(min_success_rate == 0)")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 <= initial_estimate <= 1.0:
+            raise ValueError("initial estimate must be in [0, 1]")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        self.smoothing = smoothing
+        self.hysteresis = hysteresis
+        self._estimate = initial_estimate
+        self._current = self._eligible(initial_estimate)
+        self.observations = 0
+        self.switches = 0
+
+    @property
+    def estimate(self) -> float:
+        """Current smoothed frame success-rate estimate."""
+        return self._estimate
+
+    @property
+    def current_scheme(self) -> ErrorControlScheme:
+        return self._current
+
+    def _eligible(self, estimate: float) -> ErrorControlScheme:
+        for scheme in self.schemes:
+            if estimate >= scheme.min_success_rate:
+                return scheme
+        return self.schemes[-1]
+
+    def observe(self, success: bool) -> None:
+        """Fold one frame outcome into the estimate and re-select."""
+        self.observations += 1
+        sample = 1.0 if success else 0.0
+        self._estimate += self.smoothing * (sample - self._estimate)
+        candidate = self._eligible(self._estimate)
+        if candidate is self._current:
+            return
+        current_index = self.schemes.index(self._current)
+        candidate_index = self.schemes.index(candidate)
+        if candidate_index < current_index:
+            # Moving lighter: require the estimate to clear the candidate's
+            # threshold by the hysteresis margin.
+            if self._estimate < candidate.min_success_rate + self.hysteresis:
+                return
+        self._current = candidate
+        self.switches += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdaptiveErrorControl est={self._estimate:.3f} "
+            f"scheme={self._current.name!r}>"
+        )

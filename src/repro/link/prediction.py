@@ -1,0 +1,174 @@
+"""Channel-state prediction and its cost/accuracy/energy trade-off.
+
+The survey (§1): *"Prediction of future channel conditions has a tradeoff
+on cost and the accuracy of prediction versus the energy savings given
+predicted conditions."*
+
+Predictors observe a binary channel state sequence (good/bad, e.g. from a
+Gilbert–Elliott chain) and forecast the next state.  A transmitter that
+defers frames in predicted-bad slots saves retransmission energy at the
+price of deferred traffic when the prediction is wrong.
+
+Three predictors of increasing cost:
+
+- :class:`LastStatePredictor` — persistence: tomorrow is like today
+  (zero state, the cheapest possible predictor);
+- :class:`EwmaPredictor` — smoothed recent history against a threshold;
+- :class:`MarkovPredictor` — learns the 2x2 transition matrix online and
+  predicts the maximum-likelihood successor.
+
+:func:`evaluate_predictor` measures accuracy and the resulting
+transmission-energy outcome on a recorded state sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+
+class ChannelPredictor(Protocol):
+    """Interface shared by all predictors."""
+
+    def observe(self, good: bool) -> None:
+        """Record the actual state of the slot that just elapsed."""
+
+    def predict(self) -> bool:
+        """Forecast whether the next slot will be good."""
+
+
+class LastStatePredictor:
+    """Persistence forecasting: predict whatever was last observed."""
+
+    def __init__(self, initial: bool = True) -> None:
+        self._last = initial
+
+    def observe(self, good: bool) -> None:
+        self._last = good
+
+    def predict(self) -> bool:
+        return self._last
+
+
+class EwmaPredictor:
+    """Exponentially weighted "goodness" against a decision threshold.
+
+    Parameters
+    ----------
+    smoothing:
+        Weight of the newest observation, in (0, 1].
+    threshold:
+        Predict good when the smoothed goodness is at or above this.
+    """
+
+    def __init__(
+        self, smoothing: float = 0.3, threshold: float = 0.5, initial: float = 1.0
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.smoothing = smoothing
+        self.threshold = threshold
+        self._estimate = initial
+
+    def observe(self, good: bool) -> None:
+        sample = 1.0 if good else 0.0
+        self._estimate += self.smoothing * (sample - self._estimate)
+
+    def predict(self) -> bool:
+        return self._estimate >= self.threshold
+
+
+class MarkovPredictor:
+    """Online maximum-likelihood two-state Markov predictor.
+
+    Counts observed transitions and predicts the more probable successor
+    of the current state.  With Laplace smoothing so early predictions are
+    sane.
+    """
+
+    def __init__(self, initial: bool = True) -> None:
+        self._last = initial
+        # counts[s][s'] = observed transitions s -> s', Laplace-smoothed.
+        self._counts = {True: {True: 1, False: 1}, False: {True: 1, False: 1}}
+        self._have_previous = False
+
+    def observe(self, good: bool) -> None:
+        if self._have_previous:
+            self._counts[self._last][good] += 1
+        self._last = good
+        self._have_previous = True
+
+    def predict(self) -> bool:
+        row = self._counts[self._last]
+        if row[True] == row[False]:
+            return self._last  # break ties with persistence
+        return row[True] > row[False]
+
+    def transition_probability(self, source: bool, target: bool) -> float:
+        """Current estimate of P(target | source)."""
+        row = self._counts[source]
+        return row[target] / (row[True] + row[False])
+
+
+@dataclass
+class PredictionOutcome:
+    """Accuracy and energy bookkeeping from :func:`evaluate_predictor`.
+
+    Energy model: a frame transmitted in a good slot succeeds (costs one
+    frame energy); in a bad slot it fails and is retried later (costs one
+    frame energy, delivers nothing).  Predicted-bad slots are skipped:
+    no energy, traffic deferred.
+    """
+
+    slots: int = 0
+    hits: int = 0
+    false_good: int = 0  # predicted good, was bad -> wasted transmission
+    false_bad: int = 0  # predicted bad, was good -> missed opportunity
+    transmissions: int = 0
+    successes: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.slots if self.slots else 0.0
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of transmissions that landed in bad slots."""
+        if self.transmissions == 0:
+            return 0.0
+        return (self.transmissions - self.successes) / self.transmissions
+
+    def energy_per_delivered_frame(self, frame_energy_j: float) -> float:
+        """Average energy per successfully delivered frame."""
+        if self.successes == 0:
+            return float("inf")
+        return self.transmissions * frame_energy_j / self.successes
+
+
+def evaluate_predictor(
+    predictor: ChannelPredictor, states: Sequence[bool]
+) -> PredictionOutcome:
+    """Run ``predictor`` over a recorded good/bad sequence.
+
+    For each slot the predictor forecasts, the transmitter acts on the
+    forecast (transmit iff predicted good), then the predictor observes
+    the true state.
+    """
+    outcome = PredictionOutcome()
+    for actual in states:
+        predicted = predictor.predict()
+        outcome.slots += 1
+        if predicted == actual:
+            outcome.hits += 1
+        elif predicted and not actual:
+            outcome.false_good += 1
+        else:
+            outcome.false_bad += 1
+        if predicted:
+            outcome.transmissions += 1
+            if actual:
+                outcome.successes += 1
+        predictor.observe(actual)
+    return outcome

@@ -1,0 +1,424 @@
+"""802.11 distributed coordination function (CSMA/CA).
+
+Each :class:`DcfStation` contends for the medium with the standard DCF
+procedure: wait for the channel to be idle for a DIFS, count down a random
+backoff (frozen while the channel is busy), transmit, and expect an ACK a
+SIFS later.  Missing ACKs double the contention window (binary exponential
+backoff) up to ``cw_max``; after ``retry_limit`` retries the frame is
+dropped.  Broadcast frames are sent once and never acknowledged, per the
+standard.
+
+Energy accounting: the transmitter's radio is moved to ``tx`` for the
+frame's airtime; receivers get the receive-vs-listen power delta added as
+an impulse for the frame airtime (see ``Radio.add_energy_impulse``), which
+avoids micro-managing rx transitions at microsecond scale while keeping
+the energy integral correct.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.mac.frames import BROADCAST, Dot11Timing, Frame, FrameKind
+from repro.mac.medium import Medium
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.radio import Radio
+    from repro.sim.core import Simulator
+
+
+@dataclass
+class DcfConfig:
+    """Per-station DCF parameters."""
+
+    #: PHY rate for data frames (802.11b: 1/2/5.5/11 Mb/s).
+    rate_bps: float = 11_000_000.0
+    timing: Dot11Timing = field(default_factory=Dot11Timing)
+    #: Transmit queue length; None = unbounded.
+    queue_capacity: Optional[int] = None
+    #: Optional ARF/AARF controller; when set, data frames are stamped
+    #: with its current rate and per-attempt outcomes are reported to it.
+    rate_controller: Optional[object] = None
+    #: Data frames with at least this many payload bytes are protected by
+    #: an RTS/CTS exchange; None disables RTS/CTS entirely.
+    rts_threshold_bytes: Optional[int] = None
+
+
+@dataclass
+class _QueuedFrame:
+    frame: Frame
+    done: Event
+
+
+class DcfStation:
+    """A station speaking DCF on a shared :class:`Medium`.
+
+    Parameters
+    ----------
+    sim, medium, address:
+        Simulator, channel and this station's unique address.
+    rng:
+        Random stream for backoff draws (one per station keeps runs
+        reproducible under composition).
+    config:
+        DCF parameters.
+    radio:
+        Optional :class:`~repro.phy.radio.Radio` to drive/charge for
+        energy accounting.
+    on_receive:
+        Callback ``f(frame)`` invoked for each *new* (deduplicated) data
+        frame addressed to this station.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        medium: Medium,
+        address: str,
+        rng: Optional[random.Random] = None,
+        config: Optional[DcfConfig] = None,
+        radio: Optional["Radio"] = None,
+        on_receive: Optional[Callable[[Frame], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.address = address
+        self.rng = rng or random.Random(hash(address) & 0xFFFF)
+        self.config = config or DcfConfig()
+        self.radio = radio
+        self.on_receive = on_receive
+        self._queue: Store = Store(sim, capacity=self.config.queue_capacity)
+        self._awaiting_ack: Optional[Event] = None
+        self._awaiting_cts: Optional[Event] = None
+        self._pending_acks = 0
+        self._tx_in_progress = 0
+        #: Virtual carrier sense: medium reserved (by overheard RTS/CTS
+        #: duration fields) until this simulation time.
+        self._nav_until = 0.0
+        self.rts_sent = 0
+        self.cts_received = 0
+        self._last_seq_from: Dict[str, int] = {}
+        # Statistics.
+        self.frames_queued = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.retransmissions = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        medium.register(self)
+        self._sender = sim.process(self._sender_loop(), name=f"dcf:{address}")
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def timing(self) -> Dot11Timing:
+        return self.config.timing
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def mac_quiescent(self) -> bool:
+        """True when no frame is queued, in flight, or awaiting an ACK.
+
+        Power-save logic must not move the radio to a non-communicating
+        state while the MAC still owes the air an ACK or a retry.
+        """
+        return (
+            len(self._queue) == 0
+            and self._tx_in_progress == 0
+            and self._pending_acks == 0
+        )
+
+    def send(
+        self,
+        destination: str,
+        payload_bytes: int,
+        payload: Any = None,
+        more_data: bool = False,
+    ) -> Event:
+        """Queue a data frame; the event fires True/False on ACK/drop."""
+        controller = self.config.rate_controller
+        rate = (
+            controller.current_rate_bps if controller is not None
+            else self.config.rate_bps
+        )
+        frame = Frame(
+            kind=FrameKind.DATA,
+            source=self.address,
+            destination=destination,
+            payload_bytes=payload_bytes,
+            rate_bps=rate,
+            more_data=more_data,
+            payload=payload,
+        )
+        return self.enqueue_frame(frame)
+
+    def enqueue_frame(self, frame: Frame) -> Event:
+        """Queue an arbitrary pre-built frame (used by PSM/EC-MAC layers)."""
+        done = Event(self.sim)
+        self.frames_queued += 1
+        self._queue.put(_QueuedFrame(frame, done))
+        return done
+
+    # -- medium sink -----------------------------------------------------------
+
+    def on_frame(self, frame: Frame) -> None:
+        """Deliver a clean frame from the medium."""
+        if self.radio is not None and not self.radio.can_communicate:
+            # Dozing / powered-off / mid-transition radios hear nothing.
+            return
+        self._charge_rx(frame)
+        if (
+            frame.nav_duration_s > 0
+            and frame.destination not in (self.address, BROADCAST)
+        ):
+            # Overheard reservation: defer for the announced exchange.
+            self._nav_until = max(
+                self._nav_until, self.sim.now + frame.nav_duration_s
+            )
+        if frame.kind is FrameKind.ACK:
+            if frame.destination == self.address and self._awaiting_ack is not None:
+                pending, self._awaiting_ack = self._awaiting_ack, None
+                pending.succeed(True)
+            return
+        if frame.kind is FrameKind.RTS:
+            if frame.destination == self.address:
+                self._send_cts(frame)
+            return
+        if frame.kind is FrameKind.CTS:
+            if frame.destination == self.address and self._awaiting_cts is not None:
+                pending, self._awaiting_cts = self._awaiting_cts, None
+                pending.succeed(True)
+            return
+        if frame.kind is FrameKind.DATA and frame.destination == self.address:
+            self._send_ack(frame)
+            if self._is_duplicate(frame):
+                return
+            self.bytes_received += frame.payload_bytes
+            self._deliver(frame)
+            return
+        if frame.destination in (self.address, BROADCAST):
+            self._handle_control(frame)
+
+    def _deliver(self, frame: Frame) -> None:
+        if self.on_receive is not None:
+            self.on_receive(frame)
+
+    def _handle_control(self, frame: Frame) -> None:
+        """Hook for subclasses (beacons, PS-Polls, schedules)."""
+
+    def _is_duplicate(self, frame: Frame) -> bool:
+        last = self._last_seq_from.get(frame.source)
+        if last == frame.seq:
+            return True
+        self._last_seq_from[frame.source] = frame.seq
+        return False
+
+    def _send_cts(self, rts_frame: Frame) -> None:
+        # Propagate the reservation, less the SIFS + our own airtime.
+        remaining = max(
+            rts_frame.nav_duration_s
+            - self.timing.sifs_s
+            - self.timing.cts_airtime_s(),
+            0.0,
+        )
+        cts = Frame(
+            kind=FrameKind.CTS,
+            source=self.address,
+            destination=rts_frame.source,
+            nav_duration_s=remaining,
+        )
+
+        def cts_body():
+            self._pending_acks += 1
+            try:
+                yield self.sim.timeout(self.timing.sifs_s)
+                yield from self._on_air(cts)
+            finally:
+                self._pending_acks -= 1
+
+        self.sim.process(cts_body(), name=f"cts:{self.address}")
+
+    def _send_ack(self, data_frame: Frame) -> None:
+        ack = Frame(
+            kind=FrameKind.ACK,
+            source=self.address,
+            destination=data_frame.source,
+        )
+
+        def ack_body():
+            self._pending_acks += 1
+            try:
+                yield self.sim.timeout(self.timing.sifs_s)
+                yield from self._on_air(ack)
+            finally:
+                self._pending_acks -= 1
+
+        self.sim.process(ack_body(), name=f"ack:{self.address}")
+
+    # -- transmit path ----------------------------------------------------------
+
+    def _sender_loop(self):
+        while True:
+            entry: _QueuedFrame = yield self._queue.get()
+            self._tx_in_progress += 1
+            try:
+                success = yield from self._contend_and_send(entry.frame)
+            finally:
+                self._tx_in_progress -= 1
+            if success:
+                self.frames_delivered += 1
+                self.bytes_sent += entry.frame.payload_bytes
+            else:
+                self.frames_dropped += 1
+            entry.done.succeed(success)
+
+    def _contend_and_send(self, frame: Frame):
+        """Full DCF exchange for one frame; returns success as a bool."""
+        timing = self.timing
+        expect_ack = frame.destination != BROADCAST and frame.kind is FrameKind.DATA
+        contention_window = timing.cw_min
+        controller = self.config.rate_controller if expect_ack else None
+        attempt = 0
+        use_rts = (
+            self.config.rts_threshold_bytes is not None
+            and frame.kind is FrameKind.DATA
+            and frame.destination != BROADCAST
+            and frame.payload_bytes >= self.config.rts_threshold_bytes
+        )
+        while True:
+            if controller is not None:
+                frame.rate_bps = controller.current_rate_bps
+            yield from self._contention(contention_window)
+            if use_rts:
+                cleared = yield from self._rts_exchange(frame)
+                if not cleared:
+                    # RTS collided or CTS lost: back off and retry; the
+                    # wasted airtime was one short control frame, not the
+                    # whole data frame -- the point of the mechanism.
+                    attempt += 1
+                    self.retransmissions += 1
+                    if attempt > timing.retry_limit:
+                        self.retransmissions -= 1
+                        return False
+                    contention_window = min(
+                        2 * contention_window + 1, timing.cw_max
+                    )
+                    continue
+                # Channel reserved: data goes a SIFS after the CTS.
+                yield self.sim.timeout(timing.sifs_s)
+            on_air_ok = yield from self._on_air(frame)
+            if not expect_ack:
+                return on_air_ok
+            self._awaiting_ack = Event(self.sim)
+            ack_event = self._awaiting_ack
+            timeout = self.sim.timeout(timing.ack_timeout_s())
+            yield self.sim.any_of([ack_event, timeout])
+            if ack_event.processed and ack_event.ok:
+                if controller is not None:
+                    controller.on_success()
+                return True
+            self._awaiting_ack = None
+            if controller is not None:
+                controller.on_failure()
+            attempt += 1
+            self.retransmissions += 1
+            if attempt > timing.retry_limit:
+                self.retransmissions -= 1  # the final attempt was a drop
+                return False
+            contention_window = min(2 * contention_window + 1, timing.cw_max)
+
+    def _rts_exchange(self, data_frame: Frame):
+        """Send an RTS and wait for the CTS; returns True when cleared."""
+        timing = self.timing
+        # Duration field: the rest of the exchange after the RTS ends.
+        remaining = (
+            timing.sifs_s
+            + timing.cts_airtime_s()
+            + timing.sifs_s
+            + data_frame.airtime_s(timing)
+            + timing.sifs_s
+            + timing.ack_airtime_s()
+        )
+        rts = Frame(
+            kind=FrameKind.RTS,
+            source=self.address,
+            destination=data_frame.destination,
+            nav_duration_s=remaining,
+        )
+        self.rts_sent += 1
+        yield from self._on_air(rts)
+        self._awaiting_cts = Event(self.sim)
+        cts_event = self._awaiting_cts
+        timeout = self.sim.timeout(self.timing.cts_timeout_s())
+        yield self.sim.any_of([cts_event, timeout])
+        if cts_event.processed and cts_event.ok:
+            self.cts_received += 1
+            return True
+        self._awaiting_cts = None
+        return False
+
+    def _contention(self, contention_window: int):
+        """DIFS + frozen random backoff, per the DCF rules.
+
+        Both physical carrier sense (the medium as heard at this station)
+        and virtual carrier sense (the NAV set by overheard RTS/CTS
+        duration fields) must be clear.
+        """
+        timing = self.timing
+        backoff_slots = self.rng.randint(0, contention_window)
+        while True:
+            if not self.medium.is_idle_for(self.address):
+                yield self.medium.wait_idle(self.address)
+            if self.sim.now < self._nav_until:
+                yield self.sim.timeout(self._nav_until - self.sim.now)
+                continue
+            # The channel must stay idle for a full DIFS.
+            busy = self.medium.wait_busy(self.address)
+            difs = self.sim.timeout(timing.difs_s)
+            yield self.sim.any_of([difs, busy])
+            if busy.processed:
+                continue
+            # Count the backoff down one slot at a time, freezing on busy.
+            interrupted = False
+            while backoff_slots > 0:
+                busy = self.medium.wait_busy(self.address)
+                slot = self.sim.timeout(timing.slot_s)
+                yield self.sim.any_of([slot, busy])
+                if busy.processed:
+                    interrupted = True
+                    break
+                backoff_slots -= 1
+            if not interrupted:
+                return
+
+    def _on_air(self, frame: Frame):
+        """Put a frame on the medium, driving the radio's tx state."""
+        radio = self.radio
+        use_radio = radio is not None and not radio.in_transition
+        if use_radio:
+            previous = radio.state
+            yield radio.transition_to("tx")
+        delivered = yield self.medium.transmit(frame)
+        if use_radio:
+            yield radio.transition_to(previous)
+        return delivered
+
+    def _charge_rx(self, frame: Frame) -> None:
+        """Charge the rx-vs-idle power delta for a received frame."""
+        if self.radio is None:
+            return
+        model = self.radio.model
+        if "rx" not in model.states or "idle" not in model.states:
+            return
+        delta_w = max(model.power("rx") - model.power("idle"), 0.0)
+        self.radio.add_energy_impulse(delta_w * frame.airtime_s(self.timing))
+
+    def __repr__(self) -> str:
+        return f"<DcfStation {self.address!r} queue={self.queue_length}>"

@@ -1,0 +1,157 @@
+"""PAMAS-style battery-aware independent sleeping.
+
+The paper (§1): *"Alternatively, with PAMAS nodes independently enter
+sleep state based on their battery levels."*
+
+Each :class:`PamasNode` alternates awake windows (during which it can
+receive traffic) and sleep windows whose length grows as its battery
+drains, trading availability for lifetime.  Nodes decide *independently* —
+there is no coordinator — which is the defining property versus EC-MAC
+and the Hotspot resource manager.
+
+The sleep policy is pluggable; :func:`linear_sleep_policy` reproduces the
+canonical behaviour (sleep fraction rises linearly as charge falls below a
+threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.phy.battery import Battery
+from repro.phy.radio import Radio
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+#: Maps state of charge in [0, 1] to the fraction of time to sleep, [0, 1).
+SleepPolicy = Callable[[float], float]
+
+
+def linear_sleep_policy(
+    threshold: float = 0.8, max_sleep_fraction: float = 0.9
+) -> SleepPolicy:
+    """Sleep fraction rises linearly from 0 (at ``threshold`` charge) to
+    ``max_sleep_fraction`` (at empty).
+
+    Above the threshold the node never sleeps; below it, availability is
+    progressively sacrificed to stretch the remaining charge.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if not 0.0 <= max_sleep_fraction < 1.0:
+        raise ValueError("max sleep fraction must be in [0, 1)")
+
+    def policy(state_of_charge: float) -> float:
+        if state_of_charge >= threshold:
+            return 0.0
+        depletion = 1.0 - state_of_charge / threshold
+        return max_sleep_fraction * depletion
+
+    return policy
+
+
+def aggressive_sleep_policy(duty: float = 0.5) -> SleepPolicy:
+    """Constant-duty sleeping regardless of charge (a naive baseline)."""
+    if not 0.0 <= duty < 1.0:
+        raise ValueError("duty must be in [0, 1)")
+    return lambda state_of_charge: duty
+
+
+@dataclass
+class PamasStats:
+    """Lifetime/availability accounting for one node."""
+
+    awake_time_s: float = 0.0
+    asleep_time_s: float = 0.0
+    died_at_s: Optional[float] = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of (pre-death) time the node was receivable."""
+        total = self.awake_time_s + self.asleep_time_s
+        return self.awake_time_s / total if total > 0 else 0.0
+
+
+class PamasNode:
+    """A node that sleeps according to its own battery level.
+
+    Parameters
+    ----------
+    radio:
+        Radio with an awake (communicating) state and a sleep state.
+    battery:
+        The node's battery; the radio's power draw depletes it.
+    policy:
+        Sleep policy mapping state-of-charge to sleep fraction.
+    cycle_s:
+        Length of one awake+sleep decision cycle.
+    awake_state, sleep_state:
+        Radio state names to use.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        radio: Radio,
+        battery: Battery,
+        policy: Optional[SleepPolicy] = None,
+        cycle_s: float = 1.0,
+        awake_state: str = "idle",
+        sleep_state: str = "doze",
+    ) -> None:
+        if cycle_s <= 0:
+            raise ValueError("cycle must be positive")
+        radio.model._require(awake_state)
+        radio.model._require(sleep_state)
+        self.sim = sim
+        self.radio = radio
+        self.battery = battery
+        self.policy = policy or linear_sleep_policy()
+        self.cycle_s = cycle_s
+        self.awake_state = awake_state
+        self.sleep_state = sleep_state
+        self.stats = PamasStats()
+        self._alive = True
+        sim.process(self._node_loop(), name="pamas-node")
+
+    @property
+    def is_alive(self) -> bool:
+        """False once the battery hit its cutoff."""
+        return self._alive
+
+    @property
+    def is_receivable(self) -> bool:
+        """True while the node is awake and alive."""
+        return self._alive and self.radio.can_communicate
+
+    def _node_loop(self):
+        while self._alive:
+            sleep_fraction = self.policy(self.battery.state_of_charge)
+            if not 0.0 <= sleep_fraction < 1.0:
+                raise ValueError(
+                    f"sleep policy returned {sleep_fraction!r}, not in [0, 1)"
+                )
+            awake_s = self.cycle_s * (1.0 - sleep_fraction)
+            sleep_s = self.cycle_s * sleep_fraction
+            if awake_s > 0:
+                if self.radio.state != self.awake_state:
+                    yield self.radio.transition_to(self.awake_state)
+                yield self.sim.timeout(awake_s)
+                self._drain(self.radio.model.power(self.awake_state), awake_s)
+                self.stats.awake_time_s += awake_s
+            if not self._alive:
+                break
+            if sleep_s > 0:
+                if self.radio.state != self.sleep_state:
+                    yield self.radio.transition_to(self.sleep_state)
+                yield self.sim.timeout(sleep_s)
+                self._drain(self.radio.model.power(self.sleep_state), sleep_s)
+                self.stats.asleep_time_s += sleep_s
+
+    def _drain(self, power_w: float, duration_s: float) -> None:
+        self.battery.draw(power_w, duration_s)
+        if self.battery.is_empty and self._alive:
+            self._alive = False
+            self.stats.died_at_s = self.sim.now

@@ -1,0 +1,152 @@
+"""802.11 transmit-rate adaptation (ARF and AARF).
+
+The survey's adaptation theme applied at the PHY rate: 802.11b radios can
+fall back from 11 to 5.5/2/1 Mb/s when the channel degrades.  Lower rates
+are more robust (more energy per symbol) but hold the radio in its
+high-power transmit/receive states longer per byte — an energy trade-off
+exactly parallel to ARQ-vs-FEC.
+
+- :class:`ArfRateController` — Auto Rate Fallback (Kamerman/Monteban):
+  step up after N consecutive successes or a timer, step down after M
+  consecutive failures.
+- :class:`AarfRateController` — Adaptive ARF (Lacage et al.): a failed
+  probe doubles the success threshold, damping the up/down oscillation
+  ARF exhibits on stable marginal channels.
+
+Both plug into :class:`~repro.mac.dcf.DcfStation` via
+``DcfConfig.rate_controller``; the station reports per-attempt outcomes
+and stamps each data frame with the controller's current rate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.devices.profiles import WLAN_RATES_BPS
+
+#: 802.11b rate ladder, slowest first.
+DEFAULT_RATES_BPS = (
+    WLAN_RATES_BPS["1M"],
+    WLAN_RATES_BPS["2M"],
+    WLAN_RATES_BPS["5.5M"],
+    WLAN_RATES_BPS["11M"],
+)
+
+
+class ArfRateController:
+    """Auto Rate Fallback over a rate ladder.
+
+    Parameters
+    ----------
+    rates_bps:
+        Available rates, ascending.
+    up_threshold:
+        Consecutive successes required to try the next higher rate.
+    down_threshold:
+        Consecutive failures that trigger a fallback.
+    start_index:
+        Ladder position to start at (default: the top).
+    """
+
+    def __init__(
+        self,
+        rates_bps: Sequence[float] = DEFAULT_RATES_BPS,
+        up_threshold: int = 10,
+        down_threshold: int = 2,
+        start_index: int | None = None,
+    ) -> None:
+        if not rates_bps:
+            raise ValueError("need at least one rate")
+        if list(rates_bps) != sorted(rates_bps):
+            raise ValueError("rates must be ascending")
+        if up_threshold < 1 or down_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.rates_bps = list(rates_bps)
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self._index = len(self.rates_bps) - 1 if start_index is None else start_index
+        if not 0 <= self._index < len(self.rates_bps):
+            raise ValueError("start index out of range")
+        self._successes = 0
+        self._failures = 0
+        #: True right after a step up: the first frame at the new rate is
+        #: a probe, and its failure steps straight back down.
+        self._probing = False
+        self.steps_up = 0
+        self.steps_down = 0
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self.rates_bps[self._index]
+
+    @property
+    def rate_index(self) -> int:
+        return self._index
+
+    def on_success(self) -> None:
+        """One frame was acknowledged at the current rate."""
+        self._failures = 0
+        self._probing = False
+        self._successes += 1
+        if (
+            self._successes >= self.up_threshold
+            and self._index < len(self.rates_bps) - 1
+        ):
+            self._step_up()
+
+    def on_failure(self) -> None:
+        """One transmission attempt went unacknowledged."""
+        self._successes = 0
+        failed_probe = self._probing
+        self._probing = False
+        self._failures += 1
+        if failed_probe or self._failures >= self.down_threshold:
+            self._step_down(failed_probe)
+
+    def _step_up(self) -> None:
+        self._index += 1
+        self._successes = 0
+        self._probing = True
+        self.steps_up += 1
+
+    def _step_down(self, failed_probe: bool) -> None:
+        if self._index > 0:
+            self._index -= 1
+            self.steps_down += 1
+        self._failures = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} rate={self.current_rate_bps / 1e6:.1f}M "
+            f"ups={self.steps_up} downs={self.steps_down}>"
+        )
+
+
+class AarfRateController(ArfRateController):
+    """Adaptive ARF: failed probes double the up-threshold (capped).
+
+    On a channel that supports rate k but not k+1, plain ARF probes
+    upward every ``up_threshold`` successes and loses a frame each time;
+    AARF backs off exponentially, cutting the probe losses.
+    """
+
+    def __init__(
+        self,
+        rates_bps: Sequence[float] = DEFAULT_RATES_BPS,
+        up_threshold: int = 10,
+        down_threshold: int = 2,
+        max_up_threshold: int = 160,
+        start_index: int | None = None,
+    ) -> None:
+        super().__init__(rates_bps, up_threshold, down_threshold, start_index)
+        if max_up_threshold < up_threshold:
+            raise ValueError("max threshold must be >= base threshold")
+        self._base_up_threshold = up_threshold
+        self.max_up_threshold = max_up_threshold
+
+    def _step_down(self, failed_probe: bool) -> None:
+        if failed_probe:
+            self.up_threshold = min(self.up_threshold * 2, self.max_up_threshold)
+        else:
+            self.up_threshold = self._base_up_threshold
+        super()._step_down(failed_probe)

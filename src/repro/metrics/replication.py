@@ -1,0 +1,100 @@
+"""Replication across seeds: means and confidence intervals.
+
+Stochastic experiments (Poisson workloads, Gilbert–Elliott channels)
+should be reported as mean ± confidence interval over independent seeded
+replications, not as a single run.  :func:`replicate` runs a metric
+function across seeds and :class:`Replication` summarises the samples
+with a Student-t interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom (1..30).
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def _t_critical(dof: int) -> float:
+    if dof < 1:
+        raise ValueError("need at least two samples for an interval")
+    return _T_95.get(dof, 1.960)  # normal approximation beyond 30
+
+
+@dataclass
+class Replication:
+    """Mean, spread and 95 % confidence half-width of one metric."""
+
+    name: str
+    samples: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError(f"metric {self.name!r} has no samples")
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / self.n
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((x - mean) ** 2 for x in self.samples) / (self.n - 1)
+        )
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the two-sided 95 % Student-t interval."""
+        if self.n < 2:
+            return 0.0
+        return _t_critical(self.n - 1) * self.stdev / math.sqrt(self.n)
+
+    def interval(self) -> tuple[float, float]:
+        half = self.ci95_half_width
+        return self.mean - half, self.mean + half
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.4g} ± {self.ci95_half_width:.2g} (n={self.n})"
+
+
+def replicate(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+) -> Dict[str, Replication]:
+    """Run ``experiment(seed)`` for every seed, collate metrics by name.
+
+    The experiment returns a mapping of metric name to value; every
+    replication must report the same metric names.
+    """
+    collected: Dict[str, List[float]] = {}
+    count = 0
+    for seed in seeds:
+        result = experiment(seed)
+        count += 1
+        if not result:
+            raise ValueError("experiment returned no metrics")
+        if collected and set(result) != set(collected):
+            raise ValueError(
+                f"replication for seed {seed} reported metrics "
+                f"{sorted(result)} but earlier runs reported {sorted(collected)}"
+            )
+        for name, value in result.items():
+            collected.setdefault(name, []).append(float(value))
+    if count == 0:
+        raise ValueError("need at least one seed")
+    return {name: Replication(name, values) for name, values in collected.items()}

@@ -1,0 +1,104 @@
+"""ASCII schedule timelines — the paper's Figure 1.
+
+Figure 1 shows, per client, when data transfer occurs (top) and the
+client's power level (beneath).  :func:`render_schedule_timeline` draws
+the same picture from radio state traces: one row of transfer activity
+and one row of power level per client, over a common time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.phy.radio import Radio
+from repro.sim.stats import TimeSeries
+
+#: Glyphs by qualitative power level.
+_LEVEL_GLYPHS = {0: " ", 1: ".", 2: "=", 3: "#"}
+
+
+def _power_level(power_w: float, max_power_w: float) -> int:
+    """Quantise a power value to one of four display levels."""
+    if max_power_w <= 0 or power_w <= 0:
+        return 0
+    ratio = power_w / max_power_w
+    if ratio < 0.05:
+        return 0
+    if ratio < 0.3:
+        return 1
+    if ratio < 0.7:
+        return 2
+    return 3
+
+
+def sample_states(
+    series: TimeSeries, start_s: float, end_s: float, columns: int
+) -> List[str]:
+    """Sample a piecewise-constant state trace at column midpoints."""
+    if columns < 1:
+        raise ValueError("need at least one column")
+    if end_s <= start_s:
+        raise ValueError("need end > start")
+    step = (end_s - start_s) / columns
+    samples: List[str] = []
+    for i in range(columns):
+        t = start_s + (i + 0.5) * step
+        try:
+            samples.append(str(series.value_at(t)))
+        except ValueError:
+            samples.append("?")
+    return samples
+
+
+def render_schedule_timeline(
+    radios: Dict[str, Radio],
+    start_s: float,
+    end_s: float,
+    columns: int = 72,
+    transfer_states: Tuple[str, ...] = ("tx", "rx", "active"),
+) -> str:
+    """Render the Figure-1 style schedule for several clients.
+
+    For each client: a ``data`` row marking transfer activity (``X``)
+    and a ``power`` row showing the quantised instantaneous power level.
+    Transition samples (recorded as ``->state``) display as transfers in
+    the data row if heading to a transfer state.
+    """
+    if not radios:
+        raise ValueError("need at least one radio")
+    lines: List[str] = []
+    axis_step = (end_s - start_s) / columns
+    name_width = max(len(name) for name in radios) + 7
+    for name, radio in radios.items():
+        states = sample_states(radio.state_series, start_s, end_s, columns)
+        data_row = []
+        power_row = []
+        max_power = max(
+            state.power_w for state in radio.model.states.values()
+        )
+        for state in states:
+            bare = state[2:] if state.startswith("->") else state
+            is_transfer = bare in transfer_states
+            data_row.append("X" if is_transfer else " ")
+            if state.startswith("->") or bare not in radio.model.states:
+                power_row.append("~")  # transitioning
+            else:
+                level = _power_level(radio.model.power(bare), max_power)
+                power_row.append(_LEVEL_GLYPHS[level])
+        lines.append(f"{name + ' data':<{name_width}}|{''.join(data_row)}|")
+        lines.append(f"{name + ' power':<{name_width}}|{''.join(power_row)}|")
+    # Time axis.
+    axis = f"{'t (s)':<{name_width}}|"
+    marks = ""
+    tick_every = max(columns // 6, 1)
+    i = 0
+    while i < columns:
+        label = f"{start_s + i * axis_step:.1f}"
+        if len(marks) + len(label) + 1 > columns:
+            break
+        marks = marks.ljust(i) + label
+        i += tick_every
+    lines.append(axis + marks.ljust(columns)[:columns] + "|")
+    legend = "legend: X data transfer; power: '#' high '=' mid '.' low ' ' off '~' transition"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""CPU dynamic voltage scaling under EDF schedulability.
+
+The survey's "more traditional CPU voltage scaling and scheduling":
+CMOS dynamic power scales as ``P ∝ f · V²`` and each frequency requires a
+minimum voltage, so running *slower but longer* at a lower voltage wins
+energy as long as deadlines still hold.  For periodic tasks under EDF the
+schedulability condition is simply utilisation ``U ≤ 1``, which gives the
+classic rule: pick the lowest frequency at which
+
+    U(f) = Σ  C_i(f_max) · (f_max / f) / T_i  ≤ 1.
+
+:func:`select_lowest_feasible_frequency` applies the rule;
+:class:`DvsSchedule` checks deadline feasibility and compares energy
+against always-max-frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class CpuFrequency:
+    """One operating point of the processor.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Clock rate.
+    voltage_v:
+        Minimum supply voltage at this rate.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or self.voltage_v <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+    def power_w(self, switched_capacitance_f: float = 1e-9) -> float:
+        """Dynamic power ``C · V² · f`` at this operating point."""
+        return switched_capacitance_f * self.voltage_v**2 * self.frequency_hz
+
+
+#: PXA250-flavoured operating points (the iPAQ 3970's processor family).
+PXA250_POINTS = [
+    CpuFrequency(100e6, 0.85),
+    CpuFrequency(200e6, 1.0),
+    CpuFrequency(300e6, 1.1),
+    CpuFrequency(400e6, 1.3),
+]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task with implicit deadline (= period).
+
+    Attributes
+    ----------
+    name:
+        Identifier.
+    wcet_at_fmax_s:
+        Worst-case execution time at the maximum frequency.
+    period_s:
+        Inter-arrival time and relative deadline.
+    """
+
+    name: str
+    wcet_at_fmax_s: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.wcet_at_fmax_s <= 0 or self.period_s <= 0:
+            raise ValueError("WCET and period must be positive")
+        if self.wcet_at_fmax_s > self.period_s:
+            raise ValueError(
+                f"task {self.name!r} infeasible even at f_max "
+                f"(WCET {self.wcet_at_fmax_s} > period {self.period_s})"
+            )
+
+
+def utilisation_at(
+    tasks: Sequence[PeriodicTask], frequency: CpuFrequency, f_max_hz: float
+) -> float:
+    """EDF utilisation when the task set runs at ``frequency``."""
+    scale = f_max_hz / frequency.frequency_hz
+    return sum(task.wcet_at_fmax_s * scale / task.period_s for task in tasks)
+
+
+def select_lowest_feasible_frequency(
+    tasks: Sequence[PeriodicTask],
+    points: Optional[Sequence[CpuFrequency]] = None,
+) -> CpuFrequency:
+    """Lowest operating point keeping EDF utilisation at or below 1.
+
+    Raises if even the fastest point cannot schedule the task set.
+    """
+    if points is None:
+        points = PXA250_POINTS
+    if not points:
+        raise ValueError("need at least one operating point")
+    ordered = sorted(points, key=lambda p: p.frequency_hz)
+    f_max = ordered[-1].frequency_hz
+    for point in ordered:
+        if utilisation_at(tasks, point, f_max) <= 1.0:
+            return point
+    raise ValueError(
+        f"task set infeasible: U={utilisation_at(tasks, ordered[-1], f_max):.3f} "
+        "at the maximum frequency"
+    )
+
+
+@dataclass
+class DvsSchedule:
+    """Energy comparison of a chosen operating point against always-max.
+
+    Build with :meth:`plan`; energies are per hyperperiod, counting only
+    CPU busy time (idle assumed clock-gated at negligible dynamic power).
+    """
+
+    tasks: List[PeriodicTask]
+    chosen: CpuFrequency
+    f_max: CpuFrequency
+    switched_capacitance_f: float = 1e-9
+
+    @classmethod
+    def plan(
+        cls,
+        tasks: Sequence[PeriodicTask],
+        points: Optional[Sequence[CpuFrequency]] = None,
+        switched_capacitance_f: float = 1e-9,
+    ) -> "DvsSchedule":
+        if points is None:
+            points = PXA250_POINTS
+        chosen = select_lowest_feasible_frequency(tasks, points)
+        f_max = max(points, key=lambda p: p.frequency_hz)
+        return cls(list(tasks), chosen, f_max, switched_capacitance_f)
+
+    def hyperperiod_s(self) -> float:
+        """LCM of task periods (periods quantised to microseconds)."""
+        micro = [max(int(round(t.period_s * 1e6)), 1) for t in self.tasks]
+        out = micro[0]
+        for m in micro[1:]:
+            out = out * m // math.gcd(out, m)
+        return out / 1e6
+
+    def _busy_time_s(self, point: CpuFrequency) -> float:
+        hyper = self.hyperperiod_s()
+        scale = self.f_max.frequency_hz / point.frequency_hz
+        return sum(
+            (hyper / task.period_s) * task.wcet_at_fmax_s * scale
+            for task in self.tasks
+        )
+
+    def energy_at_chosen_j(self) -> float:
+        return self._busy_time_s(self.chosen) * self.chosen.power_w(
+            self.switched_capacitance_f
+        )
+
+    def energy_at_max_j(self) -> float:
+        return self._busy_time_s(self.f_max) * self.f_max.power_w(
+            self.switched_capacitance_f
+        )
+
+    def saving_fraction(self) -> float:
+        """Energy saved by DVS relative to always-max, in [0, 1)."""
+        max_energy = self.energy_at_max_j()
+        if max_energy == 0:
+            return 0.0
+        return 1.0 - self.energy_at_chosen_j() / max_energy
+
+    def is_feasible(self) -> bool:
+        """EDF feasibility at the chosen point."""
+        return (
+            utilisation_at(self.tasks, self.chosen, self.f_max.frequency_hz) <= 1.0
+        )

@@ -1,0 +1,51 @@
+"""Physical layer: radio power states, channel models and batteries.
+
+The paper's §1 notes that WLAN hardware consumes similar power in transmit
+and receive, spends up to 90 % of its time listening, and that deep
+low-power states (doze/off for WLAN, park for Bluetooth) are where real
+savings live.  This package provides the calibrated power-state machinery
+(:mod:`repro.phy.radio`), the propagation/error models that trigger
+adaptation decisions (:mod:`repro.phy.channel`), and battery models for
+lifetime studies (:mod:`repro.phy.battery`).
+"""
+
+from repro.phy.radio import PowerState, Radio, RadioPowerModel, Transition
+from repro.phy.channel import (
+    FreeSpacePathLoss,
+    GilbertElliottChannel,
+    LogDistancePathLoss,
+    LogNormalShadowing,
+    Modulation,
+    RayleighBlockFading,
+    ScriptedLinkQuality,
+    ber,
+    packet_error_rate,
+    snr_db_from_link_budget,
+)
+from repro.phy.battery import Battery
+from repro.phy.mobility import (
+    LinearMobility,
+    WaypointMobility,
+    quality_from_mobility,
+)
+
+__all__ = [
+    "Battery",
+    "FreeSpacePathLoss",
+    "GilbertElliottChannel",
+    "LinearMobility",
+    "LogDistancePathLoss",
+    "LogNormalShadowing",
+    "Modulation",
+    "PowerState",
+    "Radio",
+    "RayleighBlockFading",
+    "RadioPowerModel",
+    "ScriptedLinkQuality",
+    "Transition",
+    "WaypointMobility",
+    "ber",
+    "packet_error_rate",
+    "quality_from_mobility",
+    "snr_db_from_link_budget",
+]

@@ -1,0 +1,299 @@
+"""Radio power-state machines with full energy accounting.
+
+A wireless network interface (WNIC) is modelled as a set of named
+:class:`PowerState`\\ s (e.g. ``tx``, ``rx``, ``idle``, ``doze``, ``off``
+for 802.11; ``active``, ``sniff``, ``hold``, ``park`` for Bluetooth), plus
+a table of :class:`Transition`\\ s carrying the latency and energy cost of
+moving between states.  :class:`Radio` binds a :class:`RadioPowerModel` to
+a simulator and keeps a power trace, so that average power and total
+energy — the quantities behind the paper's Figure 2 — fall out of the
+time-weighted statistics.
+
+Transition costs matter: the paper's Hotspot scheduler wins precisely
+because it amortises expensive wake-ups over large data bursts, and a
+model without wake-up costs would overstate the benefit of naive sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
+
+from repro.sim.process import Process
+from repro.sim.stats import TimeSeries, TimeWeightedStat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """A named operating state drawing constant power.
+
+    Attributes
+    ----------
+    name:
+        State identifier (unique within a model).
+    power_w:
+        Power drawn while in the state, in watts.
+    can_communicate:
+        Whether the radio can send/receive user data in this state.
+    """
+
+    name: str
+    power_w: float
+    can_communicate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError(f"state {self.name!r} has negative power")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Cost of moving between two power states.
+
+    Attributes
+    ----------
+    latency_s:
+        Time the transition takes; the radio is unusable meanwhile.
+    energy_j:
+        Extra energy consumed by the transition (on top of nothing —
+        the transition's average power is ``energy_j / latency_s``).
+    """
+
+    source: str
+    target: str
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("transition latency must be >= 0")
+        if self.energy_j < 0:
+            raise ValueError("transition energy must be >= 0")
+
+
+class RadioPowerModel:
+    """An immutable catalogue of power states and transition costs.
+
+    Parameters
+    ----------
+    name:
+        Model name (e.g. ``"802.11b CF card"``).
+    states:
+        The state set; names must be unique.
+    transitions:
+        Explicit transition costs.  Pairs not listed fall back to a
+        zero-cost transition.
+    initial_state:
+        Name of the state a fresh radio starts in.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[PowerState],
+        transitions: Iterable[Transition] = (),
+        initial_state: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.states: Dict[str, PowerState] = {}
+        for state in states:
+            if state.name in self.states:
+                raise ValueError(f"duplicate state name {state.name!r}")
+            self.states[state.name] = state
+        if not self.states:
+            raise ValueError("a radio model needs at least one state")
+        self._transitions: Dict[Tuple[str, str], Transition] = {}
+        for transition in transitions:
+            self._require(transition.source)
+            self._require(transition.target)
+            self._transitions[(transition.source, transition.target)] = transition
+        if initial_state is None:
+            initial_state = next(iter(self.states))
+        self._require(initial_state)
+        self.initial_state = initial_state
+
+    def _require(self, state_name: str) -> None:
+        if state_name not in self.states:
+            raise KeyError(
+                f"unknown state {state_name!r} in model {self.name!r}; "
+                f"known: {sorted(self.states)}"
+            )
+
+    def power(self, state_name: str) -> float:
+        """Power (W) drawn in ``state_name``."""
+        self._require(state_name)
+        return self.states[state_name].power_w
+
+    def transition(self, source: str, target: str) -> Transition:
+        """Transition cost from ``source`` to ``target`` (zero if unlisted)."""
+        self._require(source)
+        self._require(target)
+        found = self._transitions.get((source, target))
+        if found is not None:
+            return found
+        return Transition(source, target, latency_s=0.0, energy_j=0.0)
+
+    def state_names(self) -> list[str]:
+        return list(self.states)
+
+    def __repr__(self) -> str:
+        return f"<RadioPowerModel {self.name!r} states={sorted(self.states)}>"
+
+
+class Radio:
+    """A simulator-bound radio instance with a live power trace.
+
+    The MAC layer (or the client resource manager) drives the radio by
+    yielding :meth:`transition_to`; energy and time-in-state are tracked
+    automatically and queried via :meth:`energy_j`, :meth:`average_power_w`
+    and :meth:`time_in_state`.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    model:
+        The power model to instantiate.
+    name:
+        Instance name for traces (defaults to the model name).
+    """
+
+    def __init__(
+        self, sim: "Simulator", model: RadioPowerModel, name: Optional[str] = None
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.name = name or model.name
+        self._state = model.initial_state
+        self._in_transition = False
+        self._power_trace = TimeWeightedStat(
+            initial_time=sim.now, initial_value=model.power(self._state)
+        )
+        #: Named state over time, for schedule timelines (paper Fig. 1).
+        self.state_series = TimeSeries(name=f"{self.name}.state")
+        self.state_series.append(sim.now, self._state)
+        self._state_durations: Dict[str, float] = {}
+        self._last_state_change = sim.now
+        self._transition_energy_j = 0.0
+        self._transition_count = 0
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state name (still the *source* state while transitioning)."""
+        return self._state
+
+    @property
+    def in_transition(self) -> bool:
+        """True while a state change is in progress."""
+        return self._in_transition
+
+    @property
+    def can_communicate(self) -> bool:
+        """True when user data can flow right now."""
+        return (
+            not self._in_transition and self.model.states[self._state].can_communicate
+        )
+
+    @property
+    def transition_count(self) -> int:
+        """Number of completed state changes (excluding no-ops)."""
+        return self._transition_count
+
+    # -- state control ----------------------------------------------------------
+
+    def transition_to(self, target: str) -> Process:
+        """Start a transition; yield the returned process to wait for it.
+
+        A transition to the current state completes immediately and costs
+        nothing.  Starting a transition while another is in progress is an
+        error — the caller (MAC/resource manager) owns serialisation.
+        """
+        return self.sim.process(
+            self._transition_body(target), name=f"{self.name}->{target}"
+        )
+
+    def _transition_body(self, target: str):
+        self.model._require(target)
+        if self._in_transition:
+            raise RuntimeError(
+                f"radio {self.name!r}: transition to {target!r} requested "
+                f"while already transitioning to {self._state!r}"
+            )
+        if target == self._state:
+            return
+            yield  # pragma: no cover - generator marker
+        cost = self.model.transition(self._state, target)
+        self._account_state_time()
+        self._in_transition = True
+        self._transition_count += 1
+        self._transition_energy_j += cost.energy_j
+        if cost.latency_s > 0:
+            # During the transition the radio draws the transition's
+            # average power.
+            transition_power = cost.energy_j / cost.latency_s
+            self._power_trace.record(self.sim.now, transition_power)
+            self.state_series.append(self.sim.now, f"->{target}")
+            yield self.sim.timeout(cost.latency_s)
+        else:
+            # Instantaneous transition: lump the energy as an impulse.
+            self._power_trace.add_impulse(cost.energy_j)
+        self._in_transition = False
+        self._state = target
+        self._last_state_change = self.sim.now
+        self._power_trace.record(self.sim.now, self.model.power(target))
+        self.state_series.append(self.sim.now, target)
+
+    def _account_state_time(self) -> None:
+        held = self.sim.now - self._last_state_change
+        if held > 0:
+            self._state_durations[self._state] = (
+                self._state_durations.get(self._state, 0.0) + held
+            )
+        self._last_state_change = self.sim.now
+
+    # -- accounting ----------------------------------------------------------------
+
+    def add_energy_impulse(self, energy_j: float) -> None:
+        """Account an instantaneous energy cost outside the state machine.
+
+        Used e.g. by the MAC to add the receive-vs-listen power delta for
+        the exact airtime of a received frame, without micro-managing
+        rx-state transitions at microsecond granularity.
+        """
+        if energy_j < 0:
+            raise ValueError("energy impulse must be >= 0")
+        self._power_trace.add_impulse(energy_j)
+
+    def energy_j(self, now: Optional[float] = None) -> float:
+        """Total energy consumed through ``now`` (default: current time)."""
+        return self._power_trace.integral(now if now is not None else self.sim.now)
+
+    def average_power_w(self, now: Optional[float] = None) -> float:
+        """Time-averaged power through ``now`` (default: current time)."""
+        return self._power_trace.mean(now if now is not None else self.sim.now)
+
+    @property
+    def transition_energy_j(self) -> float:
+        """Energy spent purely on state changes so far."""
+        return self._transition_energy_j
+
+    def time_in_state(self, state_name: str) -> float:
+        """Total time spent *settled* in ``state_name`` (transitions excluded)."""
+        self.model._require(state_name)
+        total = self._state_durations.get(state_name, 0.0)
+        if not self._in_transition and state_name == self._state:
+            total += self.sim.now - self._last_state_change
+        return total
+
+    def current_power_w(self) -> float:
+        """Instantaneous power draw."""
+        return self._power_trace.value
+
+    def __repr__(self) -> str:
+        flag = " (transitioning)" if self._in_transition else ""
+        return f"<Radio {self.name!r} state={self._state!r}{flag}>"

@@ -1,0 +1,127 @@
+"""The simulator: event queue and run loop.
+
+Scheduling is deterministic: queue entries are ordered by
+``(time, priority, sequence)`` where the sequence number increases
+monotonically, so events scheduled for the same instant fire in the order
+they were scheduled (kernel-internal wakeups first).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (e.g. time reversal)."""
+
+
+class Simulator:
+    """A discrete-event simulator with a deterministic run loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation time (default ``0.0``).  Time units are
+        seconds throughout this project.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling (kernel use) -----------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- run loop ----------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = []  # further appends would never run
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failure nobody waited for must not pass silently.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulation time reaches ``until``.
+
+        When ``until`` is given, time is advanced to exactly ``until`` even
+        if the queue drains earlier, so time-weighted statistics close
+        consistently.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until!r}) is in the past (now={self._now!r})"
+                )
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = float(until)
+        else:
+            while self._queue:
+                self.step()
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

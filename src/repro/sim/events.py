@@ -1,0 +1,191 @@
+"""Core event types for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.  It
+moves through three states: *pending* (created, not yet triggered),
+*triggered* (scheduled to fire, value set) and *processed* (callbacks have
+run).  Events may succeed with a value or fail with an exception.
+
+:class:`Timeout` is an event that triggers after a fixed delay.
+:class:`AnyOf` / :class:`AllOf` combine several events into one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.core import Simulator
+
+#: Scheduling priority for ordinary events.
+NORMAL = 1
+#: Scheduling priority for kernel-internal wakeups (processed first at a tick).
+URGENT = 0
+
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence that can be waited on by processes.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.core.Simulator`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks invoked (with this event) once the event is processed.
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = _PENDING
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception once triggered)."""
+        if self._state == _PENDING:
+            raise AttributeError("value is not available on a pending event")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._state != _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._state = _TRIGGERED
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=delay, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception`` after ``delay``."""
+        if self._state != _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=delay, priority=NORMAL)
+        return self
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def _mark_processed(self) -> None:
+        self._state = _PROCESSED
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _TRIGGERED
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay, priority=NORMAL)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Condition(Event):
+    """Base for composite events over a set of sub-events.
+
+    The condition fires as soon as ``evaluate`` reports completion.  Its
+    value is a dict mapping each *triggered* sub-event to that event's
+    value, in trigger order.  A failing sub-event fails the condition.
+    """
+
+    __slots__ = ("_events", "_done_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._done_count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_sub_event(event)
+            else:
+                event.callbacks.append(self._on_sub_event)
+
+    def _threshold(self) -> int:
+        raise NotImplementedError
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done_count += 1
+        if self._done_count >= self._threshold():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count as "fired": Timeouts are born
+        # triggered (their firing time is fixed at creation), so testing
+        # `triggered` would wrongly include every pending timeout.
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+
+class AnyOf(Condition):
+    """Fires when any one of the sub-events fires."""
+
+    __slots__ = ()
+
+    def _threshold(self) -> int:
+        return 1
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    __slots__ = ()
+
+    def _threshold(self) -> int:
+        return len(self._events)
+
+
+def _describe(event: Optional[Event]) -> str:
+    """Human-readable description of an event for error messages."""
+    return repr(event) if event is not None else "<no event>"

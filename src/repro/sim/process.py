@@ -1,0 +1,149 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process suspends
+until that event fires, then resumes with the event's value (or with the
+event's exception thrown into the generator).  The process itself is an
+event that fires when the generator returns, so processes can wait on each
+other.
+
+Processes can be interrupted: :meth:`Process.interrupt` raises
+:class:`Interrupt` inside the generator at the current simulation time,
+detaching it from whatever event it was waiting on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import NORMAL, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when the process is interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """An event-yielding generator running inside the simulator.
+
+    Do not instantiate directly; use :meth:`Simulator.process`.
+    """
+
+    __slots__ = ("_generator", "_target", "_started", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+        self._started = False
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the generator off at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is already scheduled to resume delivers the interrupt first.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        # Detach from the event we were waiting on so its eventual firing
+        # does not resume us a second time.
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        carrier = Event(self.sim)
+        carrier.callbacks.append(self._resume)
+        carrier._state = 1  # triggered
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        # A generator that has not started yet cannot catch a thrown
+        # exception; deliver the interrupt at NORMAL priority so the
+        # bootstrap (scheduled earlier) runs first.
+        priority = URGENT if self._started else NORMAL
+        self.sim._schedule(carrier, delay=0.0, priority=priority)
+
+    # -- kernel machinery ----------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value/exception of ``trigger``."""
+        if self.triggered:
+            # The process already finished (e.g. interrupted away from the
+            # event that now fired); stale triggers are ignored.
+            return
+        self._started = True
+        self._target = None
+        self.sim._active_process = self
+        try:
+            while True:
+                if trigger.ok:
+                    yielded = self._generator.send(trigger.value)
+                else:
+                    yielded = self._generator.throw(trigger.value)
+                if not isinstance(yielded, Event):
+                    raise TypeError(
+                        f"process {self.name!r} yielded {yielded!r}; "
+                        "processes may only yield Event instances"
+                    )
+                if yielded.sim is not self.sim:
+                    raise ValueError(
+                        f"process {self.name!r} yielded an event belonging to "
+                        "a different simulator"
+                    )
+                if yielded.processed:
+                    # Already-fired event: loop and deliver immediately.
+                    trigger = yielded
+                    continue
+                yielded.callbacks.append(self._resume)
+                self._target = yielded
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            # The generator died: fail the process event so waiters see it.
+            self.fail(exc)
+        finally:
+            self.sim._active_process = None
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {status}>"

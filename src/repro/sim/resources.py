@@ -1,0 +1,255 @@
+"""Shared resources for processes: counted resources and item stores.
+
+- :class:`Resource` — a counted resource with FIFO request queue (e.g. a
+  radio channel, a server's transmit slot).
+- :class:`Store` — an unbounded-or-bounded FIFO buffer of items (e.g. a
+  packet queue); ``get`` blocks until an item is available, ``put`` blocks
+  while the store is full.
+- :class:`PriorityStore` — like :class:`Store` but items are retrieved in
+  ascending priority order (items must be orderable or wrapped).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted.
+
+    Usable as a context manager so a release is never forgotten::
+
+        with resource.request() as req:
+            yield req
+            ... # holding the resource
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous holders allowed (default 1).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim the resource; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted (or still-queued) request."""
+        if request in self._holders:
+            self._holders.remove(request)
+            while self._waiting and len(self._holders) < self.capacity:
+                nxt = self._waiting.popleft()
+                self._holders.add(nxt)
+                nxt.succeed(nxt)
+        else:
+            # Cancelling a queued request is allowed and idempotent.
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+
+class Store:
+    """FIFO item buffer with blocking ``get`` and (optionally) ``put``.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum number of buffered items; ``None`` means unbounded.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def _push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _pop(self) -> Any:
+        return self._items.popleft()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once it is stored."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._push(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove the next item; the returned event fires with the item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._pop())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._pop()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def drain(self) -> list[Any]:
+        """Remove and return all buffered items at once (may be empty)."""
+        items = list(self._items)
+        self._items.clear()
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._push(item)
+            event.succeed()
+        return items
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._push(item)
+            event.succeed()
+
+
+class PriorityStore(Store):
+    """A :class:`Store` whose items come out in ascending sort order."""
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
+        super().__init__(sim, capacity)
+        self._heap: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(sorted(self._heap))
+
+    def _push(self, item: Any) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _pop(self) -> Any:
+        return heapq.heappop(self._heap)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._heap) < self.capacity:
+            self._push(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._heap:
+            event.succeed(self._pop())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._heap:
+            item = self._pop()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def drain(self) -> list[Any]:
+        items = [heapq.heappop(self._heap) for _ in range(len(self._heap))]
+        while self._putters and (
+            self.capacity is None or len(self._heap) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._push(item)
+            event.succeed()
+        return items
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._heap) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._push(item)
+            event.succeed()

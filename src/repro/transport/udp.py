@@ -1,0 +1,131 @@
+"""UDP: unreliable datagram flows.
+
+A :class:`UdpFlow` pushes datagrams at a configured rate (constant or
+callable), a :class:`UdpSink` counts what arrives.  There is no feedback
+loop — which is exactly why the Hotspot scheduler can shape UDP traffic
+into arbitrary bursts without the transport fighting back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.transport.path import NetworkPath, Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class UdpSink:
+    """Receives datagrams and keeps order/loss statistics."""
+
+    def __init__(self) -> None:
+        self.datagrams = 0
+        self.bytes = 0
+        self.last_seq = -1
+        self.out_of_order = 0
+        self.arrival_times: list[float] = []
+
+    def deliver(self, segment: Segment) -> None:
+        self.datagrams += 1
+        self.bytes += segment.length_bytes
+        if segment.seq < self.last_seq:
+            self.out_of_order += 1
+        self.last_seq = max(self.last_seq, segment.seq)
+
+    def goodput_bps(self, elapsed_s: float) -> float:
+        """Delivered payload rate over ``elapsed_s``."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.bytes * 8.0 / elapsed_s
+
+
+class UdpFlow:
+    """A constant-rate (or shaped) datagram source.
+
+    Parameters
+    ----------
+    path:
+        Outbound path.
+    datagram_bytes:
+        Payload per datagram.
+    rate_bps:
+        Target payload rate; a float or a callable ``f(now) -> bps`` for
+        shaped traffic.
+    source, destination:
+        Addresses stamped on the segments.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        path: NetworkPath,
+        datagram_bytes: int = 1472,
+        rate_bps: Union[float, Callable[[float], float]] = 128_000.0,
+        source: str = "server",
+        destination: str = "client",
+    ) -> None:
+        if datagram_bytes <= 0:
+            raise ValueError("datagram size must be positive")
+        self.sim = sim
+        self.path = path
+        self.datagram_bytes = datagram_bytes
+        self.rate_bps = rate_bps
+        self.source = source
+        self.destination = destination
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+        self._next_seq = 0
+        self._running = False
+
+    def start(self, duration_s: Optional[float] = None):
+        """Begin sending; yields the returned process to wait for the end."""
+        if self._running:
+            raise RuntimeError("flow already running")
+        self._running = True
+        return self.sim.process(self._pump(duration_s), name="udp-flow")
+
+    def send_burst(self, total_bytes: int) -> int:
+        """Emit ``total_bytes`` back-to-back immediately; returns datagrams."""
+        if total_bytes < 0:
+            raise ValueError("burst size must be >= 0")
+        count = 0
+        remaining = total_bytes
+        while remaining > 0:
+            size = min(self.datagram_bytes, remaining)
+            self._emit(size)
+            remaining -= size
+            count += 1
+        return count
+
+    def _current_rate(self) -> float:
+        rate = self.rate_bps(self.sim.now) if callable(self.rate_bps) else self.rate_bps
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        return rate
+
+    def _emit(self, size: int) -> None:
+        segment = Segment(
+            source=self.source,
+            destination=self.destination,
+            seq=self._next_seq,
+            length_bytes=size,
+        )
+        self._next_seq += size
+        self.datagrams_sent += 1
+        self.bytes_sent += size
+        self.path.send(segment)
+
+    def _pump(self, duration_s: Optional[float]):
+        end = None if duration_s is None else self.sim.now + duration_s
+        while end is None or self.sim.now < end:
+            rate = self._current_rate()
+            if rate == 0.0:
+                yield self.sim.timeout(0.01)  # paused; poll the shaper
+                continue
+            interval = self.datagram_bytes * 8.0 / rate
+            yield self.sim.timeout(interval)
+            if end is not None and self.sim.now > end:
+                break
+            self._emit(self.datagram_bytes)
+        self._running = False

@@ -1,0 +1,107 @@
+"""Tests for load partitioning."""
+
+import pytest
+
+from repro.apps import PipelinePartitioner, Stage
+
+
+def pipeline(stages=None, **kwargs):
+    if stages is None:
+        stages = [
+            Stage("parse", mobile_cycles=5e6, output_bytes=50_000),
+            Stage("transform", mobile_cycles=50e6, output_bytes=5_000),
+            Stage("render", mobile_cycles=10e6, output_bytes=1_000),
+        ]
+    defaults = dict(input_bytes=100_000, result_bytes=1_000)
+    defaults.update(kwargs)
+    return PipelinePartitioner(stages, **defaults)
+
+
+class TestEvaluate:
+    def test_all_mobile_has_no_transfer(self):
+        plan = pipeline().evaluate(3)
+        assert plan.transfer_bytes == 0
+        cycles = 5e6 + 50e6 + 10e6
+        assert plan.mobile_energy_j == pytest.approx(cycles * 0.8e-9)
+
+    def test_all_server_ships_input_and_result(self):
+        partitioner = pipeline()
+        plan = partitioner.evaluate(0)
+        assert plan.transfer_bytes == 100_000 + 1_000
+        assert plan.mobile_energy_j == pytest.approx(101_000 * 2e-6)
+
+    def test_mid_cut_ships_intermediate(self):
+        plan = pipeline().evaluate(1)  # cut after "parse"
+        assert plan.transfer_bytes == 50_000 + 1_000
+
+    def test_cut_bounds(self):
+        partitioner = pipeline()
+        with pytest.raises(ValueError):
+            partitioner.evaluate(-1)
+        with pytest.raises(ValueError):
+            partitioner.evaluate(4)
+
+
+class TestBestPlan:
+    def test_offload_wins_when_compute_expensive_and_data_small(self):
+        stages = [
+            Stage("reduce", mobile_cycles=1e6, output_bytes=100),
+            Stage("heavy", mobile_cycles=500e6, output_bytes=100),
+        ]
+        partitioner = PipelinePartitioner(stages, input_bytes=200, result_bytes=100)
+        best = partitioner.best_plan()
+        assert best.cut < 2  # the heavy stage ran on the server
+
+    def test_local_wins_when_data_huge_and_compute_cheap(self):
+        stages = [
+            Stage("filter", mobile_cycles=1e6, output_bytes=10_000_000),
+            Stage("pick", mobile_cycles=1e6, output_bytes=100),
+        ]
+        partitioner = PipelinePartitioner(
+            stages, input_bytes=20_000_000, result_bytes=100
+        )
+        best = partitioner.best_plan()
+        assert best.cut == 2  # cheaper to compute than to ship megabytes
+
+    def test_latency_budget_constrains_choice(self):
+        stages = [Stage("work", mobile_cycles=400e6, output_bytes=1000)]
+        partitioner = PipelinePartitioner(
+            stages,
+            input_bytes=1000,
+            result_bytes=1000,
+            server_speedup=10.0,
+        )
+        unconstrained = partitioner.best_plan()
+        # Force everything local with an impossible link-latency budget:
+        # the all-mobile cut takes 1 s of CPU, offloading adds link time.
+        tight = partitioner.best_plan(latency_budget_s=1.01)
+        assert tight.latency_s <= 1.01
+
+    def test_impossible_budget_raises(self):
+        partitioner = pipeline()
+        with pytest.raises(ValueError):
+            partitioner.best_plan(latency_budget_s=1e-9)
+
+    def test_all_plans_enumerates_every_cut(self):
+        plans = pipeline().all_plans()
+        assert [p.cut for p in plans] == [0, 1, 2, 3]
+
+    def test_describe_mentions_placement(self):
+        partitioner = pipeline()
+        text = partitioner.best_plan().describe(partitioner.stages)
+        assert "mobile:" in text and "server:" in text
+
+
+class TestValidation:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Stage("x", mobile_cycles=-1.0, output_bytes=10)
+
+    def test_partitioner_validation(self):
+        with pytest.raises(ValueError):
+            PipelinePartitioner([], input_bytes=10)
+        stage = Stage("x", 1e6, 100)
+        with pytest.raises(ValueError):
+            PipelinePartitioner([stage], input_bytes=-1)
+        with pytest.raises(ValueError):
+            PipelinePartitioner([stage], input_bytes=10, link_rate_bps=0.0)

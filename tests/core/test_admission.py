@@ -1,0 +1,87 @@
+"""Tests for bandwidth allocation / admission control."""
+
+import pytest
+
+from repro.core import (
+    HotspotClient,
+    HotspotServer,
+    QoSContract,
+    bluetooth_interface,
+    wlan_interface,
+)
+from repro.core.server import AdmissionError
+from repro.sim import Simulator
+
+
+def make_client(sim, name, rate, interfaces=("bluetooth",)):
+    available = {}
+    if "bluetooth" in interfaces:
+        available["bluetooth"] = bluetooth_interface(sim, name=f"{name}/bt")
+    if "wlan" in interfaces:
+        available["wlan"] = wlan_interface(sim, name=f"{name}/wlan")
+    contract = QoSContract(client=name, stream_rate_bps=rate)
+    return HotspotClient(sim, name, contract, available)
+
+
+def test_single_client_fits_bluetooth():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    client = make_client(sim, "c0", 128_000.0)
+    assert server.can_admit(client)
+
+
+def test_aggregate_rate_exceeding_channel_rejected():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    # Bluetooth effective ~615 kb/s; cap 0.9 -> ~553 kb/s budget.
+    for i in range(4):
+        server.register(make_client(sim, f"c{i}", 128_000.0))
+    fifth = make_client(sim, "c4", 128_000.0)
+    assert not server.can_admit(fifth)
+    with pytest.raises(AdmissionError):
+        server.register(fifth, enforce_admission=True)
+
+
+def test_wlan_provides_headroom_for_more_clients():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    for i in range(4):
+        server.register(make_client(sim, f"c{i}", 128_000.0))
+    # A dual-interface client can still be admitted: WLAN has room.
+    sixth = make_client(sim, "c5", 128_000.0, interfaces=("bluetooth", "wlan"))
+    assert server.can_admit(sixth)
+    server.register(sixth, enforce_admission=True)
+
+
+def test_admission_not_enforced_by_default():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    for i in range(10):
+        server.register(make_client(sim, f"c{i}", 128_000.0))
+    assert len(server.sessions) == 10  # best effort, as before
+
+
+def test_projected_load_counts_unassigned_clients():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    server.register(make_client(sim, "c0", 200_000.0))
+    # Session interface is still None (no scheduling round yet): the
+    # load must still be counted against its only possible channel.
+    assert server.projected_load_bps("bluetooth") == pytest.approx(200_000.0)
+
+
+def test_utilisation_cap_validation():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    client = make_client(sim, "c0", 128_000.0)
+    with pytest.raises(ValueError):
+        server.can_admit(client, utilisation_cap=0.0)
+    with pytest.raises(ValueError):
+        server.can_admit(client, utilisation_cap=1.5)
+
+
+def test_giant_contract_rejected_everywhere():
+    sim = Simulator()
+    server = HotspotServer(sim)
+    hog = make_client(sim, "hog", 50e6, interfaces=("bluetooth", "wlan"))
+    assert not server.can_admit(hog)

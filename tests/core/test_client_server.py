@@ -1,0 +1,211 @@
+"""Tests for the Hotspot server and client resource managers."""
+
+import pytest
+
+from repro.core import (
+    HotspotClient,
+    HotspotServer,
+    InterfaceSelectionPolicy,
+    QoSContract,
+    bluetooth_interface,
+    wlan_interface,
+)
+from repro.sim import Simulator
+
+
+def make_client(sim, name="c0", rate=128_000.0, buffer_bytes=96_000, quality=None):
+    interfaces = {
+        "bluetooth": bluetooth_interface(sim, name=f"{name}/bt", quality=quality),
+        "wlan": wlan_interface(sim, name=f"{name}/wlan"),
+    }
+    contract = QoSContract(
+        client=name, stream_rate_bps=rate, client_buffer_bytes=buffer_bytes
+    )
+    return HotspotClient(sim, name, contract, interfaces)
+
+
+class TestQoSContract:
+    def test_burst_period(self):
+        contract = QoSContract(client="c", stream_rate_bps=128_000.0)
+        assert contract.burst_period_s(16_000) == pytest.approx(1.0)
+        assert contract.buffer_playback_s() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSContract(client="c", stream_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            QoSContract(client="c", stream_rate_bps=1.0, weight=0.0)
+        with pytest.raises(ValueError):
+            QoSContract(client="c", stream_rate_bps=1.0, battery_level=2.0)
+
+
+class TestClient:
+    def test_execute_burst_delivers_to_playout(self):
+        sim = Simulator()
+        client = make_client(sim)
+
+        def driver(sim):
+            yield client.initialise()
+            yield client.execute_burst("bluetooth", 40_000)
+
+        sim.process(driver(sim))
+        sim.run(until=10.0)
+        assert client.bursts_received == 1
+        assert client.playout.level_bytes == pytest.approx(40_000)
+        assert client.burst_log[0][1] == "bluetooth"
+        # Interface went back to park afterwards.
+        assert client.interfaces["bluetooth"].is_asleep
+
+    def test_unknown_interface_rejected(self):
+        sim = Simulator()
+        client = make_client(sim)
+        with pytest.raises(KeyError):
+            client.execute_burst("zigbee", 1000)
+        with pytest.raises(ValueError):
+            client.execute_burst("wlan", 0)
+
+    def test_report_contents(self):
+        sim = Simulator()
+        client = make_client(sim)
+        report = client.report()
+        assert report.client == "c0"
+        assert set(report.interface_names) == {"bluetooth", "wlan"}
+        assert not report.playing
+
+    def test_client_requires_interfaces(self):
+        sim = Simulator()
+        contract = QoSContract(client="c", stream_rate_bps=1.0)
+        with pytest.raises(ValueError):
+            HotspotClient(sim, "c", contract, {})
+
+
+class TestServer:
+    def test_registration_and_duplicate_rejection(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        client = make_client(sim)
+        server.register(client)
+        with pytest.raises(ValueError):
+            server.register(client)
+
+    def test_ingest_requires_registration(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        with pytest.raises(KeyError):
+            server.ingest("ghost", 100)
+
+    def test_ingest_validation(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        server.register(make_client(sim))
+        with pytest.raises(ValueError):
+            server.ingest("c0", 0)
+
+    def test_backlog_served_in_bursts(self):
+        sim = Simulator()
+        server = HotspotServer(sim, min_burst_bytes=20_000)
+        client = make_client(sim)
+        server.register(client)
+        server.ingest("c0", 80_000)
+        server.start()
+        sim.run(until=30.0)
+        assert client.bytes_received > 0
+        assert server.bursts_served >= 1
+        session = server.sessions["c0"]
+        assert session.bytes_served == client.bytes_received
+
+    def test_burst_respects_client_buffer(self):
+        sim = Simulator()
+        server = HotspotServer(sim, min_burst_bytes=10_000)
+        client = make_client(sim, buffer_bytes=32_000)
+        server.register(client)
+        server.ingest("c0", 500_000)
+        server.start()
+        sim.run(until=5.0)
+        assert client.playout.overflow_bytes == 0
+        assert client.playout.level_bytes <= 32_000 + 1e-6
+
+    def test_interface_selection_prefers_bluetooth_when_good(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        client = make_client(sim, quality=lambda t: 1.0)
+        server.register(client)
+        server.ingest("c0", 50_000)
+        server.start()
+        sim.run(until=5.0)
+        assert server.sessions["c0"].interface == "bluetooth"
+
+    def test_interface_switches_when_bluetooth_degrades(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        quality = lambda t: 1.0 if t < 10.0 else 0.1
+        client = make_client(sim, quality=quality)
+        server.register(client)
+        server.start()
+
+        def feed(sim):
+            while True:
+                yield sim.timeout(1.0)
+                server.ingest("c0", 16_000)
+
+        sim.process(feed(sim))
+        sim.run(until=30.0)
+        session = server.sessions["c0"]
+        assert session.interface == "wlan"
+        assert session.switchovers == 1
+        assert [name for _t, name in session.interface_log] == [
+            "bluetooth",
+            "wlan",
+        ]
+        # Bursts actually flowed over both interfaces.
+        used = {name for _t, name, _b in client.burst_log}
+        assert used == {"bluetooth", "wlan"}
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        server = HotspotServer(sim)
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            HotspotServer(sim, epoch_s=0.0)
+        with pytest.raises(ValueError):
+            HotspotServer(sim, min_burst_bytes=0)
+        with pytest.raises(ValueError):
+            HotspotServer(sim, deadline_safety_s=-1.0)
+
+
+class TestInterfacePolicy:
+    def test_rate_requirement_excludes_slow_interfaces(self):
+        sim = Simulator()
+        # Contract needs 1 Mb/s; Bluetooth (~0.6 Mb/s) cannot carry it.
+        client = make_client(sim, rate=1_000_000.0, quality=lambda t: 1.0)
+        policy = InterfaceSelectionPolicy()
+        assert policy.select(client, 0.0) == "wlan"
+
+    def test_quality_threshold(self):
+        sim = Simulator()
+        client = make_client(sim, quality=lambda t: 0.3)
+        policy = InterfaceSelectionPolicy(quality_threshold=0.5)
+        assert policy.select(client, 0.0) == "wlan"
+
+    def test_fallback_to_best_quality(self):
+        sim = Simulator()
+        interfaces = {
+            "bluetooth": bluetooth_interface(sim, quality=lambda t: 0.4),
+        }
+        contract = QoSContract(client="c", stream_rate_bps=128_000.0)
+        client = HotspotClient(sim, "c", contract, interfaces)
+        policy = InterfaceSelectionPolicy(quality_threshold=0.9)
+        assert policy.select(client, 0.0) == "bluetooth"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterfaceSelectionPolicy(preference=[])
+        with pytest.raises(ValueError):
+            InterfaceSelectionPolicy(quality_threshold=1.5)
+        with pytest.raises(ValueError):
+            InterfaceSelectionPolicy(rate_margin=0.5)

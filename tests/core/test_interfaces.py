@@ -1,0 +1,127 @@
+"""Tests for the managed-interface abstraction."""
+
+import pytest
+
+from repro.core import bluetooth_interface, wlan_interface
+from repro.core.interfaces import ManagedInterface
+from repro.devices import wlan_cf_card
+from repro.phy import Radio
+from repro.sim import Simulator
+
+
+def test_wlan_interface_states():
+    sim = Simulator()
+    interface = wlan_interface(sim)
+    assert interface.resting_state == "idle"
+    assert interface.sleep_state == "off"
+    assert interface.active_state == "rx"
+
+
+def test_bluetooth_interface_states():
+    sim = Simulator()
+    interface = bluetooth_interface(sim)
+    assert interface.sleep_state == "park"
+    assert interface.active_state == "active"
+
+
+def test_transfer_duration():
+    sim = Simulator()
+    interface = wlan_interface(sim, effective_rate_bps=5e6)
+    assert interface.transfer_duration_s(625_000) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        interface.transfer_duration_s(-1)
+
+
+def test_wake_transfer_sleep_cycle():
+    sim = Simulator()
+    interface = wlan_interface(sim)
+    log = []
+
+    def driver(sim):
+        yield interface.sleep()
+        log.append(("asleep", interface.is_asleep))
+        yield interface.wake()
+        log.append(("awake", interface.is_awake))
+        duration = yield interface.transfer(50_000)
+        log.append(("transferred", duration > 0))
+        yield interface.sleep()
+        log.append(("asleep-again", interface.is_asleep))
+
+    sim.process(driver(sim))
+    sim.run(until=60.0)
+    assert log == [
+        ("asleep", True),
+        ("awake", True),
+        ("transferred", True),
+        ("asleep-again", True),
+    ]
+    assert interface.bursts == 1
+    assert interface.bytes_transferred == 50_000
+
+
+def test_transfer_charges_active_state_time():
+    sim = Simulator()
+    interface = wlan_interface(sim, effective_rate_bps=5e6)
+
+    def driver(sim):
+        yield interface.transfer(625_000)  # 1 s in rx
+
+    sim.process(driver(sim))
+    sim.run(until=10.0)
+    assert interface.radio.time_in_state("rx") == pytest.approx(1.0)
+
+
+def test_burst_overhead_reflects_transitions():
+    sim = Simulator()
+    interface = wlan_interface(sim)
+    # WLAN: off->idle 300 ms + idle->off 10 ms.
+    assert interface.wake_overhead_s() == pytest.approx(0.300)
+    assert interface.burst_overhead_s() == pytest.approx(0.310)
+
+
+def test_quality_defaults_to_perfect():
+    sim = Simulator()
+    interface = wlan_interface(sim)
+    assert interface.quality_at(123.0) == 1.0
+
+
+def test_quality_signal_used():
+    sim = Simulator()
+    interface = bluetooth_interface(sim, quality=lambda t: 0.25)
+    assert interface.quality_at(0.0) == 0.25
+
+
+def test_goto_waits_out_in_flight_transition():
+    sim = Simulator()
+    interface = wlan_interface(sim)
+    order = []
+
+    def a(sim):
+        yield interface.sleep()
+        order.append(("slept", sim.now))
+
+    def b(sim):
+        # Starts while the sleep transition may be in flight.
+        yield interface.wake()
+        order.append(("woke", sim.now))
+
+    sim.process(a(sim))
+    sim.process(b(sim))
+    sim.run(until=60.0)
+    assert [tag for tag, _t in order] == ["slept", "woke"]
+    assert interface.is_awake
+
+
+def test_validation():
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    with pytest.raises(ValueError):
+        ManagedInterface(
+            sim, "x", radio, effective_rate_bps=0.0,
+            resting_state="idle", active_state="rx", sleep_state="off",
+        )
+    with pytest.raises(KeyError):
+        ManagedInterface(
+            sim, "x", radio, effective_rate_bps=1e6,
+            resting_state="ghost", active_state="rx", sleep_state="off",
+        )

@@ -1,0 +1,96 @@
+"""Property-based tests for the burst schedulers.
+
+The headline property is EDF optimality: for single-channel sequential
+service, if *any* ordering of the requests meets every deadline, the EDF
+ordering does.  Verified against brute-force search over all permutations
+for small request sets.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EdfScheduler, WeightedFairScheduler
+from repro.core.scheduling import BurstRequest, make_scheduler, scheduler_names
+
+CHANNEL_RATE_BPS = 1e6
+
+
+def service_time_s(request: BurstRequest) -> float:
+    return request.nbytes * 8.0 / CHANNEL_RATE_BPS
+
+
+def meets_deadlines(ordering, now=0.0) -> bool:
+    clock = now
+    for request in ordering:
+        clock += service_time_s(request)
+        if clock > request.deadline_s + 1e-12:
+            return False
+    return True
+
+
+request_sets = st.lists(
+    st.tuples(
+        st.integers(min_value=1_000, max_value=100_000),  # nbytes
+        st.floats(min_value=0.05, max_value=5.0),  # deadline
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_requests(spec):
+    return [
+        BurstRequest(
+            client=f"c{i}", nbytes=nbytes, deadline_s=deadline, arrival_s=0.0
+        )
+        for i, (nbytes, deadline) in enumerate(spec)
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(request_sets)
+def test_edf_is_optimal_for_sequential_service(spec):
+    requests = build_requests(spec)
+    feasible_somehow = any(
+        meets_deadlines(p) for p in itertools.permutations(requests)
+    )
+    edf_order = EdfScheduler().order(requests, now=0.0)
+    if feasible_somehow:
+        assert meets_deadlines(edf_order), "EDF must meet feasible deadline sets"
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_sets)
+def test_every_scheduler_is_a_permutation(spec):
+    """No scheduler may drop, duplicate or invent requests."""
+    requests = build_requests(spec)
+    for name in scheduler_names():
+        ordered = make_scheduler(name).order(list(requests), now=0.0)
+        assert sorted(r.client for r in ordered) == sorted(
+            r.client for r in requests
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_sets, st.integers(min_value=2, max_value=20))
+def test_wfq_virtual_time_is_monotone(spec, rounds):
+    scheduler = WeightedFairScheduler()
+    requests = build_requests(spec)
+    previous = -1.0
+    for round_number in range(rounds):
+        scheduler.order(list(requests), now=float(round_number))
+        current = scheduler._virtual_now
+        assert current >= previous
+        previous = current
+
+
+@settings(max_examples=100, deadline=None)
+@given(request_sets)
+def test_schedulers_are_deterministic(spec):
+    requests = build_requests(spec)
+    for name in scheduler_names():
+        a = make_scheduler(name).order(list(requests), now=0.0)
+        b = make_scheduler(name).order(list(requests), now=0.0)
+        assert [r.client for r in a] == [r.client for r in b]

@@ -1,0 +1,166 @@
+"""Tests for the Hotspot burst schedulers."""
+
+import pytest
+
+from repro.core import (
+    BurstRequest,
+    EdfScheduler,
+    FifoScheduler,
+    RateMonotonicScheduler,
+    RoundRobinScheduler,
+    WeightedFairScheduler,
+    WeightedRoundRobinScheduler,
+    make_scheduler,
+)
+from repro.core.scheduling import scheduler_names
+
+
+def request(client, nbytes=10_000, deadline=10.0, weight=1.0, rate=128e3, arrival=0.0):
+    return BurstRequest(
+        client=client,
+        nbytes=nbytes,
+        deadline_s=deadline,
+        weight=weight,
+        rate_bps=rate,
+        arrival_s=arrival,
+    )
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in scheduler_names():
+            scheduler = make_scheduler(name)
+            assert scheduler.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("magic")
+
+
+class TestFifo:
+    def test_orders_by_arrival(self):
+        scheduler = FifoScheduler()
+        requests = [
+            request("b", arrival=2.0),
+            request("a", arrival=1.0),
+            request("c", arrival=3.0),
+        ]
+        ordered = scheduler.order(requests, now=5.0)
+        assert [r.client for r in ordered] == ["a", "b", "c"]
+
+
+class TestRoundRobin:
+    def test_rotation_across_rounds(self):
+        scheduler = RoundRobinScheduler()
+        requests = [request("a"), request("b"), request("c")]
+        first = [r.client for r in scheduler.order(requests, 0.0)]
+        second = [r.client for r in scheduler.order(requests, 1.0)]
+        assert first != second
+        assert sorted(first) == sorted(second) == ["a", "b", "c"]
+
+    def test_empty_round(self):
+        assert RoundRobinScheduler().order([], 0.0) == []
+
+
+class TestEdf:
+    def test_earliest_deadline_first(self):
+        scheduler = EdfScheduler()
+        requests = [
+            request("late", deadline=10.0),
+            request("soon", deadline=1.0),
+            request("mid", deadline=5.0),
+        ]
+        ordered = scheduler.order(requests, 0.0)
+        assert [r.client for r in ordered] == ["soon", "mid", "late"]
+
+    def test_deterministic_tiebreak(self):
+        scheduler = EdfScheduler()
+        requests = [request("b", deadline=1.0), request("a", deadline=1.0)]
+        assert [r.client for r in scheduler.order(requests, 0.0)] == ["a", "b"]
+
+
+class TestRateMonotonic:
+    def test_higher_rate_first(self):
+        scheduler = RateMonotonicScheduler()
+        requests = [request("slow", rate=64e3), request("fast", rate=320e3)]
+        ordered = scheduler.order(requests, 0.0)
+        assert [r.client for r in ordered] == ["fast", "slow"]
+
+
+class TestWfq:
+    def test_equal_weights_interleave(self):
+        scheduler = WeightedFairScheduler()
+        ordered = scheduler.order(
+            [request("a", nbytes=1000), request("b", nbytes=1000)], 0.0
+        )
+        assert sorted(r.client for r in ordered) == ["a", "b"]
+
+    def test_heavier_weight_ordered_first(self):
+        """With equal burst sizes, the heavier client's virtual finish tag
+        grows slower, so it is consistently served first."""
+        scheduler = WeightedFairScheduler()
+        for round_number in range(20):
+            requests = [
+                request("light", nbytes=10_000, weight=1.0),
+                request("heavy", nbytes=10_000, weight=2.0),
+            ]
+            ordered = scheduler.order(requests, float(round_number))
+            assert ordered[0].client == "heavy"
+
+    def test_past_consumption_penalises_future_priority(self):
+        """Cross-round memory: a client that recently moved many bytes is
+        deprioritised against one that moved few."""
+        scheduler = WeightedFairScheduler()
+        scheduler.order(
+            [request("greedy", nbytes=50_000), request("modest", nbytes=1_000)],
+            0.0,
+        )
+        ordered = scheduler.order(
+            [request("greedy", nbytes=10_000), request("modest", nbytes=10_000)],
+            1.0,
+        )
+        assert ordered[0].client == "modest"
+
+    def test_finish_tags_monotone_per_client(self):
+        scheduler = WeightedFairScheduler()
+        scheduler.order([request("a", nbytes=1000)], 0.0)
+        first = scheduler.served_share()["a"]
+        scheduler.order([request("a", nbytes=1000)], 1.0)
+        second = scheduler.served_share()["a"]
+        assert second > first
+
+
+class TestWrr:
+    def test_heavier_weight_served_first_initially(self):
+        scheduler = WeightedRoundRobinScheduler()
+        requests = [
+            request("light", weight=1.0),
+            request("heavy", weight=3.0),
+        ]
+        ordered = scheduler.order(requests, 0.0)
+        assert ordered[0].client == "heavy"
+
+    def test_credit_depletion_rotates_service(self):
+        scheduler = WeightedRoundRobinScheduler(quantum_bytes=10_000)
+        firsts = []
+        for round_number in range(6):
+            requests = [
+                request("a", nbytes=30_000),
+                request("b", nbytes=10_000),
+            ]
+            ordered = scheduler.order(requests, float(round_number))
+            firsts.append(ordered[0].client)
+        # The client burning 3x the bytes cannot always be first.
+        assert "b" in firsts
+
+    def test_quantum_validation(self):
+        with pytest.raises(ValueError):
+            WeightedRoundRobinScheduler(quantum_bytes=0.0)
+
+
+class TestBurstRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            request("a", nbytes=0)
+        with pytest.raises(ValueError):
+            request("a", weight=0.0)

@@ -1,0 +1,92 @@
+"""Tests for channel-adaptive error control."""
+
+import pytest
+
+from repro.link import AdaptiveErrorControl, ErrorControlScheme
+from repro.link.adaptive import default_schemes
+from repro.link.fec import STANDARD_CODES
+
+
+def test_default_schemes_ordering():
+    schemes = default_schemes()
+    assert schemes[0].code is None  # lightest is plain ARQ
+    assert schemes[-1].min_success_rate == 0.0
+    overheads = [s.overhead for s in schemes]
+    assert overheads == sorted(overheads)
+
+
+def test_starts_light_on_optimistic_estimate():
+    controller = AdaptiveErrorControl()
+    assert controller.current_scheme.name == "arq-only"
+
+
+def test_sustained_failures_escalate_protection():
+    controller = AdaptiveErrorControl(smoothing=0.3)
+    for _ in range(30):
+        controller.observe(False)
+    assert controller.current_scheme.name == "fec-heavy"
+    assert controller.estimate < 0.05
+
+
+def test_recovery_de_escalates_with_hysteresis():
+    controller = AdaptiveErrorControl(smoothing=0.3, hysteresis=0.05)
+    for _ in range(30):
+        controller.observe(False)
+    heavy_switches = controller.switches
+    for _ in range(60):
+        controller.observe(True)
+    assert controller.current_scheme.name == "arq-only"
+    assert controller.switches > heavy_switches
+
+
+def test_hysteresis_blocks_marginal_lightening():
+    schemes = [
+        ErrorControlScheme("light", None, min_success_rate=0.5),
+        ErrorControlScheme("heavy", STANDARD_CODES["heavy"], 0.0),
+    ]
+    controller = AdaptiveErrorControl(
+        schemes, smoothing=1.0, initial_estimate=0.0, hysteresis=0.2
+    )
+    assert controller.current_scheme.name == "heavy"
+    # One success pushes the estimate to exactly 0.5 — above the light
+    # threshold but inside the hysteresis band, so no switch.
+    controller._estimate = 0.55
+    controller.observe(False)  # estimate back to 0 keeps heavy
+    assert controller.current_scheme.name == "heavy"
+
+
+def test_alternating_channel_keeps_estimate_middling():
+    controller = AdaptiveErrorControl(smoothing=0.1)
+    for i in range(200):
+        controller.observe(i % 2 == 0)
+    assert 0.3 < controller.estimate < 0.7
+
+
+def test_switch_counter():
+    controller = AdaptiveErrorControl(smoothing=1.0)
+    controller.observe(False)  # estimate -> 0, jump to heavy
+    assert controller.switches == 1
+
+
+def test_observation_counter():
+    controller = AdaptiveErrorControl()
+    for _ in range(7):
+        controller.observe(True)
+    assert controller.observations == 7
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdaptiveErrorControl(schemes=[])
+    with pytest.raises(ValueError):
+        AdaptiveErrorControl(
+            schemes=[ErrorControlScheme("x", None, min_success_rate=0.5)]
+        )
+    with pytest.raises(ValueError):
+        AdaptiveErrorControl(smoothing=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveErrorControl(initial_estimate=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveErrorControl(hysteresis=-0.1)
+    with pytest.raises(ValueError):
+        ErrorControlScheme("bad", None, min_success_rate=1.5)

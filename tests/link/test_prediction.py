@@ -1,0 +1,130 @@
+"""Tests for channel-state predictors."""
+
+import random
+
+import pytest
+
+from repro.link import (
+    EwmaPredictor,
+    LastStatePredictor,
+    MarkovPredictor,
+    evaluate_predictor,
+)
+from repro.phy import GilbertElliottChannel
+
+
+def gilbert_elliott_states(n, p_gb=0.05, p_bg=0.2, seed=4):
+    channel = GilbertElliottChannel(
+        p_good_to_bad=p_gb, p_bad_to_good=p_bg, rng=random.Random(seed)
+    )
+    states = []
+    for i in range(n):
+        states.append(channel.advance_to((i + 1) * channel.slot_s))
+    return states
+
+
+class TestLastState:
+    def test_predicts_persistence(self):
+        predictor = LastStatePredictor()
+        predictor.observe(False)
+        assert predictor.predict() is False
+        predictor.observe(True)
+        assert predictor.predict() is True
+
+    def test_beats_chance_on_bursty_channel(self):
+        states = gilbert_elliott_states(5000)
+        outcome = evaluate_predictor(LastStatePredictor(), states)
+        # Bursty channels are strongly autocorrelated: persistence >> 50 %.
+        assert outcome.accuracy > 0.8
+
+
+class TestEwma:
+    def test_threshold_behaviour(self):
+        predictor = EwmaPredictor(smoothing=1.0, threshold=0.5)
+        predictor.observe(False)
+        assert predictor.predict() is False
+        predictor.observe(True)
+        assert predictor.predict() is True
+
+    def test_smoothing_resists_single_blips(self):
+        predictor = EwmaPredictor(smoothing=0.1, threshold=0.5)
+        for _ in range(50):
+            predictor.observe(True)
+        predictor.observe(False)  # one bad slot
+        assert predictor.predict() is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(smoothing=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(threshold=1.5)
+
+
+class TestMarkov:
+    def test_learns_transition_structure(self):
+        predictor = MarkovPredictor()
+        # Feed a strictly alternating sequence: after good comes bad.
+        for i in range(100):
+            predictor.observe(i % 2 == 0)
+        # Last observation was bad (99 odd -> False); alternation says next
+        # is good.
+        assert predictor.predict() is True
+
+    def test_transition_probability_estimates(self):
+        predictor = MarkovPredictor()
+        states = gilbert_elliott_states(20_000, p_gb=0.1, p_bg=0.3)
+        for state in states:
+            predictor.observe(state)
+        assert predictor.transition_probability(True, False) == pytest.approx(
+            0.1, abs=0.02
+        )
+        assert predictor.transition_probability(False, True) == pytest.approx(
+            0.3, abs=0.05
+        )
+
+    def test_at_least_as_good_as_persistence_on_ge_channel(self):
+        states = gilbert_elliott_states(5000)
+        markov = evaluate_predictor(MarkovPredictor(), states)
+        last = evaluate_predictor(LastStatePredictor(), states)
+        assert markov.accuracy >= last.accuracy - 0.02
+
+
+class TestEvaluation:
+    def test_counts_partition_slots(self):
+        states = [True, False, True, True]
+        outcome = evaluate_predictor(LastStatePredictor(), states)
+        assert outcome.slots == 4
+        assert outcome.hits + outcome.false_good + outcome.false_bad == 4
+
+    def test_perfect_channel_perfect_prediction(self):
+        outcome = evaluate_predictor(LastStatePredictor(), [True] * 100)
+        assert outcome.accuracy == 1.0
+        assert outcome.transmissions == 100
+        assert outcome.successes == 100
+        assert outcome.wasted_fraction == 0.0
+
+    def test_energy_metric(self):
+        outcome = evaluate_predictor(LastStatePredictor(), [True] * 10)
+        assert outcome.energy_per_delivered_frame(2.0) == pytest.approx(2.0)
+
+    def test_energy_infinite_with_no_successes(self):
+        outcome = evaluate_predictor(LastStatePredictor(initial=False), [False] * 5)
+        assert outcome.transmissions == 0
+        assert outcome.energy_per_delivered_frame(1.0) == float("inf")
+
+    def test_prediction_gating_saves_energy_on_bad_channel(self):
+        """Transmitting blindly wastes energy a predictor avoids."""
+        states = gilbert_elliott_states(5000, p_gb=0.2, p_bg=0.2)
+
+        class AlwaysTransmit:
+            def observe(self, good):
+                pass
+
+            def predict(self):
+                return True
+
+        blind = evaluate_predictor(AlwaysTransmit(), states)
+        smart = evaluate_predictor(LastStatePredictor(), states)
+        assert smart.energy_per_delivered_frame(1.0) < blind.energy_per_delivered_frame(
+            1.0
+        )

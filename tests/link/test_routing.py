@@ -1,0 +1,142 @@
+"""Tests for energy-aware ad-hoc routing."""
+
+import pytest
+
+from repro.link import (
+    AdHocNetwork,
+    max_lifetime_route,
+    min_energy_route,
+    min_hop_route,
+)
+from repro.link.routing import simulate_routing
+
+
+def line_network(n=5, spacing=10.0, **kwargs):
+    positions = {f"n{i}": (i * spacing, 0.0) for i in range(n)}
+    defaults = dict(comm_range_m=25.0, battery_j=1.0)
+    defaults.update(kwargs)
+    return AdHocNetwork(positions, **defaults)
+
+
+def diamond_network(**kwargs):
+    """Source and sink connected by a short relay and a long direct edge."""
+    positions = {
+        "s": (0.0, 0.0),
+        "relay": (10.0, 0.0),
+        "t": (20.0, 0.0),
+        "high": (10.0, 18.0),
+    }
+    defaults = dict(comm_range_m=30.0, battery_j=1.0)
+    defaults.update(kwargs)
+    return AdHocNetwork(positions, **defaults)
+
+
+class TestTopology:
+    def test_links_within_range_only(self):
+        network = line_network(n=4, spacing=10.0, comm_range_m=15.0)
+        assert network.graph.has_edge("n0", "n1")
+        assert not network.graph.has_edge("n0", "n2")
+
+    def test_distance(self):
+        network = line_network()
+        assert network.distance("n0", "n2") == pytest.approx(20.0)
+
+    def test_tx_energy_grows_with_distance(self):
+        network = diamond_network(path_loss_exponent=2.0)
+        short = network.tx_energy_per_bit("s", "relay")
+        long = network.tx_energy_per_bit("s", "t")
+        assert long == pytest.approx(short * 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdHocNetwork({"a": (0, 0)}, comm_range_m=0.0)
+        with pytest.raises(ValueError):
+            AdHocNetwork({"a": (0, 0)}, path_loss_exponent=0.5)
+
+
+class TestRoutes:
+    def test_min_hop_prefers_fewest_hops(self):
+        network = diamond_network()
+        route = min_hop_route(network, "s", "t")
+        assert route == ["s", "t"]  # direct edge exists within range
+
+    def test_min_energy_prefers_relaying_with_quadratic_loss(self):
+        # With exponent 2 and an rx cost of ~0, two 10 m hops (100+100)
+        # beat one 20 m hop (400).
+        network = diamond_network(path_loss_exponent=2.0, rx_energy_per_bit_j=0.0)
+        route = min_energy_route(network, "s", "t")
+        assert route == ["s", "relay", "t"]
+
+    def test_high_rx_cost_discourages_relaying(self):
+        network = diamond_network(
+            path_loss_exponent=2.0, rx_energy_per_bit_j=1e-5
+        )
+        route = min_energy_route(network, "s", "t")
+        assert route == ["s", "t"]
+
+    def test_max_lifetime_avoids_depleted_relay(self):
+        network = diamond_network(path_loss_exponent=2.0, rx_energy_per_bit_j=0.0)
+        # Deplete the relay almost completely.
+        network.batteries["relay"].draw(power_w=0.97, duration_s=1.0)
+        route = max_lifetime_route(network, "s", "t")
+        assert "relay" not in route
+
+    def test_disconnected_returns_none(self):
+        positions = {"a": (0.0, 0.0), "b": (1000.0, 0.0)}
+        network = AdHocNetwork(positions, comm_range_m=10.0)
+        assert min_hop_route(network, "a", "b") is None
+        assert min_energy_route(network, "a", "b") is None
+        assert max_lifetime_route(network, "a", "b") is None
+
+    def test_dead_nodes_excluded(self):
+        network = line_network(n=3, spacing=10.0, comm_range_m=15.0)
+        network.batteries["n1"].draw(power_w=10.0, duration_s=1.0)
+        # n1 dead and it was the only path.
+        assert min_hop_route(network, "n0", "n2") is None
+
+
+class TestSimulation:
+    def test_send_packet_drains_batteries(self):
+        network = line_network()
+        before = network.batteries["n0"].remaining_j
+        network.send_packet(["n0", "n1"], bits=8000)
+        assert network.batteries["n0"].remaining_j < before
+
+    def test_max_lifetime_outlasts_min_energy(self):
+        """Load-spreading should deliver more packets before first death."""
+
+        def build():
+            positions = {
+                "s": (0.0, 0.0),
+                "r1": (10.0, 5.0),
+                "r2": (10.0, -5.0),
+                "r3": (12.0, 0.0),
+                "t": (20.0, 0.0),
+            }
+            return AdHocNetwork(
+                positions,
+                comm_range_m=16.0,
+                battery_j=0.005,
+                rx_energy_per_bit_j=1e-10,
+            )
+
+        flows = [("s", "t")]
+        greedy = simulate_routing(build(), flows, min_energy_route, bits=8000)
+        fair = simulate_routing(build(), flows, max_lifetime_route, bits=8000)
+        assert (
+            fair["packets_before_first_death"]
+            >= greedy["packets_before_first_death"]
+        )
+
+    def test_simulation_summary_fields(self):
+        network = line_network(battery_j=0.001)
+        summary = simulate_routing(
+            network, [("n0", "n4")], min_hop_route, bits=8000, max_packets=500
+        )
+        assert "packets_before_first_death" in summary
+        assert 0.0 <= summary["min_residual"] <= 1.0
+        assert summary["min_residual"] <= summary["mean_residual"]
+
+    def test_simulation_requires_flows(self):
+        with pytest.raises(ValueError):
+            simulate_routing(line_network(), [], min_hop_route)

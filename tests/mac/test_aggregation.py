@@ -1,0 +1,143 @@
+"""Tests for MAC-layer packet aggregation."""
+
+import pytest
+
+from repro.mac import PacketAggregator
+from repro.sim import Simulator
+
+
+def make(flush_bytes=1000, max_delay_s=None):
+    sim = Simulator()
+    flushed = []
+
+    def sink(packets, total):
+        flushed.append((sim.now, list(packets), total))
+
+    aggregator = PacketAggregator(sim, sink, flush_bytes, max_delay_s)
+    return sim, aggregator, flushed
+
+
+def test_size_triggered_flush():
+    sim, aggregator, flushed = make(flush_bytes=1000)
+    aggregator.offer(400, "a")
+    aggregator.offer(400, "b")
+    assert flushed == []
+    aggregator.offer(400, "c")  # crosses the threshold
+    assert len(flushed) == 1
+    time, packets, total = flushed[0]
+    assert total == 1200
+    assert [payload for _n, payload in packets] == ["a", "b", "c"]
+    assert aggregator.buffered_bytes == 0
+
+
+def test_exact_threshold_flushes():
+    sim, aggregator, flushed = make(flush_bytes=800)
+    aggregator.offer(800, "exact")
+    assert len(flushed) == 1
+
+
+def test_timer_triggered_flush():
+    sim, aggregator, flushed = make(flush_bytes=10_000, max_delay_s=0.5)
+
+    def feed(sim):
+        yield sim.timeout(1.0)
+        aggregator.offer(100, "late")
+
+    sim.process(feed(sim))
+    sim.run()
+    assert len(flushed) == 1
+    time, packets, total = flushed[0]
+    assert time == pytest.approx(1.5)  # arrival + max delay
+    assert total == 100
+
+
+def test_timer_measures_from_oldest_packet():
+    sim, aggregator, flushed = make(flush_bytes=10_000, max_delay_s=1.0)
+
+    def feed(sim):
+        aggregator.offer(100, "first")
+        yield sim.timeout(0.7)
+        aggregator.offer(100, "second")
+
+    sim.process(feed(sim))
+    sim.run()
+    assert len(flushed) == 1
+    time, packets, total = flushed[0]
+    assert time == pytest.approx(1.0)
+    assert total == 200
+
+
+def test_size_flush_cancels_timer():
+    sim, aggregator, flushed = make(flush_bytes=200, max_delay_s=1.0)
+
+    def feed(sim):
+        aggregator.offer(100, "a")
+        yield sim.timeout(0.1)
+        aggregator.offer(150, "b")  # size flush at t=0.1
+
+    sim.process(feed(sim))
+    sim.run(until=5.0)
+    assert len(flushed) == 1
+    assert aggregator.stats.size_flushes == 1
+    assert aggregator.stats.timer_flushes == 0
+
+
+def test_flush_now_forces_out_partial_burst():
+    sim, aggregator, flushed = make(flush_bytes=10_000)
+    aggregator.offer(123, "x")
+    aggregator.flush_now()
+    assert len(flushed) == 1
+    assert aggregator.stats.forced_flushes == 1
+
+
+def test_flush_now_with_empty_buffer_is_noop():
+    sim, aggregator, flushed = make()
+    aggregator.flush_now()
+    assert flushed == []
+    assert aggregator.stats.flushes == 0
+
+
+def test_stats_means():
+    sim, aggregator, flushed = make(flush_bytes=300)
+    for _ in range(2):
+        aggregator.offer(150, None)
+        aggregator.offer(150, None)
+    assert aggregator.stats.flushes == 2
+    assert aggregator.stats.mean_burst_bytes == pytest.approx(300.0)
+    assert aggregator.stats.mean_burst_packets == pytest.approx(2.0)
+
+
+def test_empty_stats_are_zero():
+    sim, aggregator, flushed = make()
+    assert aggregator.stats.mean_burst_bytes == 0.0
+    assert aggregator.stats.mean_burst_packets == 0.0
+
+
+def test_larger_threshold_means_fewer_bigger_bursts():
+    results = {}
+    for flush_bytes in (500, 5000):
+        sim, aggregator, flushed = make(flush_bytes=flush_bytes)
+
+        def feed(sim, aggregator=aggregator):
+            for i in range(100):
+                yield sim.timeout(0.01)
+                aggregator.offer(100, i)
+
+        sim.process(feed(sim))
+        sim.run()
+        aggregator.flush_now()
+        results[flush_bytes] = aggregator.stats
+    assert results[500].flushes > results[5000].flushes
+    assert results[500].mean_burst_bytes < results[5000].mean_burst_bytes
+
+
+def test_validation():
+    sim = Simulator()
+    sink = lambda packets, total: None
+    with pytest.raises(ValueError):
+        PacketAggregator(sim, sink, flush_bytes=0)
+    with pytest.raises(ValueError):
+        PacketAggregator(sim, sink, flush_bytes=100, max_delay_s=0.0)
+    aggregator = PacketAggregator(sim, sink, flush_bytes=100)
+    with pytest.raises(ValueError):
+        aggregator.offer(0, None)

@@ -1,0 +1,131 @@
+"""Tests for EC-MAC: scheduling, collision-free delivery, exact doze."""
+
+import pytest
+
+from repro.devices import wlan_cf_card
+from repro.mac import EcMacConfig, EcMacCoordinator, EcMacStation, Medium
+from repro.phy import Radio
+from repro.sim import Simulator
+
+
+def make_network(n_stations=2, config=None):
+    sim = Simulator()
+    medium = Medium(sim)
+    coordinator = EcMacCoordinator(sim, medium, config=config)
+    stations, radios, received = [], [], {}
+    for i in range(n_stations):
+        address = f"sta{i}"
+        radio = Radio(sim, wlan_cf_card(), name=address)
+        received[address] = []
+
+        def sink(frame, addr=address):
+            received[addr].append(frame)
+
+        station = EcMacStation(sim, medium, address, coordinator, radio, on_receive=sink)
+        stations.append(station)
+        radios.append(radio)
+    return sim, medium, coordinator, stations, radios, received
+
+
+def test_registration_assigns_slots():
+    sim, medium, coordinator, stations, radios, received = make_network(3)
+    assert [coordinator.request_slot_index(f"sta{i}") for i in range(3)] == [0, 1, 2]
+
+
+def test_duplicate_registration_rejected():
+    sim, medium, coordinator, stations, radios, received = make_network(1)
+    with pytest.raises(ValueError):
+        coordinator.register_station("sta0")
+
+
+def test_downlink_delivery():
+    sim, medium, coordinator, stations, radios, received = make_network(1)
+    results = []
+
+    def traffic(sim):
+        ok = yield coordinator.send_data("sta0", 1500, payload="scheduled")
+        results.append((sim.now, ok))
+
+    sim.process(traffic(sim))
+    sim.run(until=1.0)
+    assert results and results[0][1] is True
+    assert [f.payload for f in received["sta0"]] == ["scheduled"]
+
+
+def test_no_collisions_under_heavy_downlink():
+    sim, medium, coordinator, stations, radios, received = make_network(3)
+
+    def traffic(sim):
+        for i in range(30):
+            yield sim.timeout(0.01)
+            coordinator.send_data(f"sta{i % 3}", 1200, payload=i)
+
+    sim.process(traffic(sim))
+    sim.run(until=3.0)
+    assert medium.frames_collided == 0
+    total = sum(len(frames) for frames in received.values())
+    assert total == 30
+
+
+def test_uplink_via_reservation():
+    sim, medium, coordinator, stations, radios, received = make_network(2)
+    uplink_frames = []
+    coordinator.on_receive = lambda frame: uplink_frames.append(frame)
+    results = []
+
+    def traffic(sim):
+        yield sim.timeout(0.12)
+        ok = yield stations[1].send(900, payload="up")
+        results.append(ok)
+
+    sim.process(traffic(sim))
+    sim.run(until=1.0)
+    assert results == [True]
+    assert [f.payload for f in uplink_frames] == ["up"]
+
+
+def test_stations_doze_between_superframes():
+    sim, medium, coordinator, stations, radios, received = make_network(1)
+    sim.run(until=5.0)
+    assert radios[0].time_in_state("doze") > 3.0
+    assert radios[0].average_power_w() < 0.4
+
+
+def test_idle_station_sleeps_through_other_stations_windows():
+    config = EcMacConfig(superframe_s=0.1)
+    sim, medium, coordinator, stations, radios, received = make_network(2, config)
+
+    def traffic(sim):
+        # Constant traffic only to sta0.
+        for i in range(40):
+            yield sim.timeout(0.05)
+            coordinator.send_data("sta0", 1500, payload=i)
+
+    sim.process(traffic(sim))
+    sim.run(until=2.5)
+    # sta1 had no traffic: it must sleep more than the busy sta0.
+    assert radios[1].time_in_state("doze") > radios[0].time_in_state("doze")
+    assert len(received["sta0"]) == 40
+    assert len(received["sta1"]) == 0
+
+
+def test_schedule_defers_overflow_to_next_superframe():
+    # A tiny superframe that fits roughly one 1500-byte exchange.
+    config = EcMacConfig(superframe_s=0.006, schedule_phase_s=0.001)
+    sim, medium, coordinator, stations, radios, received = make_network(1, config)
+
+    def traffic(sim):
+        yield sim.timeout(0.001)
+        for i in range(4):
+            coordinator.send_data("sta0", 1500, payload=i)
+
+    sim.process(traffic(sim))
+    sim.run(until=1.0)
+    assert [f.payload for f in received["sta0"]] == [0, 1, 2, 3]
+
+
+def test_schedules_heard_and_counted():
+    sim, medium, coordinator, stations, radios, received = make_network(1)
+    sim.run(until=1.0)
+    assert coordinator.superframes >= 19
+    assert stations[0].schedules_heard >= 15

@@ -1,0 +1,80 @@
+"""Tests for frame airtimes and 802.11b timing constants."""
+
+import pytest
+
+from repro.mac import Dot11Timing, Frame, FrameKind
+
+
+@pytest.fixture
+def timing():
+    return Dot11Timing()
+
+
+def test_difs_is_sifs_plus_two_slots(timing):
+    assert timing.difs_s == pytest.approx(timing.sifs_s + 2 * timing.slot_s)
+
+
+def test_difs_exceeds_sifs(timing):
+    """SIFS < DIFS is what gives ACKs priority over new transmissions."""
+    assert timing.sifs_s < timing.difs_s
+
+
+def test_data_airtime_includes_plcp_and_header(timing):
+    airtime = timing.data_airtime_s(1500, 11e6)
+    body = (1500 + timing.mac_header_bytes) * 8 / 11e6
+    assert airtime == pytest.approx(timing.plcp_overhead_s + body)
+
+
+def test_data_airtime_zero_payload_is_just_overhead(timing):
+    airtime = timing.data_airtime_s(0, 11e6)
+    assert airtime == pytest.approx(
+        timing.plcp_overhead_s + timing.mac_header_bytes * 8 / 11e6
+    )
+
+
+def test_higher_rate_shorter_airtime(timing):
+    assert timing.data_airtime_s(1500, 11e6) < timing.data_airtime_s(1500, 1e6)
+
+
+def test_plcp_overhead_dominates_small_frames(timing):
+    """Fixed overhead >> body time for tiny frames at 11 Mb/s — the
+    physics behind aggregation."""
+    body = 64 * 8 / 11e6
+    assert timing.plcp_overhead_s > 3 * body
+
+
+def test_ack_airtime(timing):
+    expected = timing.plcp_overhead_s + timing.ack_bytes * 8 / timing.basic_rate_bps
+    assert timing.ack_airtime_s() == pytest.approx(expected)
+
+
+def test_ack_timeout_covers_sifs_plus_ack(timing):
+    assert timing.ack_timeout_s() > timing.sifs_s + timing.ack_airtime_s()
+
+
+def test_airtime_validation(timing):
+    with pytest.raises(ValueError):
+        timing.data_airtime_s(-1, 11e6)
+    with pytest.raises(ValueError):
+        timing.data_airtime_s(100, 0.0)
+
+
+def test_frame_airtime_dispatch(timing):
+    data = Frame(FrameKind.DATA, "a", "b", payload_bytes=1000, rate_bps=11e6)
+    ack = Frame(FrameKind.ACK, "a", "b")
+    poll = Frame(FrameKind.PS_POLL, "a", "b")
+    assert data.airtime_s(timing) == timing.data_airtime_s(1000, 11e6)
+    assert ack.airtime_s(timing) == timing.ack_airtime_s()
+    assert poll.airtime_s(timing) == pytest.approx(
+        timing.plcp_overhead_s + timing.ps_poll_bytes * 8 / timing.basic_rate_bps
+    )
+
+
+def test_frame_sequence_numbers_are_unique():
+    frames = [Frame(FrameKind.DATA, "a", "b") for _ in range(10)]
+    assert len({f.seq for f in frames}) == 10
+
+
+def test_frame_total_bits():
+    frame = Frame(FrameKind.DATA, "a", "b", payload_bytes=100)
+    assert frame.total_bits == (100 + 28) * 8

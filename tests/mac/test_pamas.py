@@ -1,0 +1,111 @@
+"""Tests for PAMAS battery-aware sleeping."""
+
+import pytest
+
+from repro.devices import wlan_cf_card
+from repro.mac import PamasNode, aggressive_sleep_policy, linear_sleep_policy
+from repro.phy import Battery, Radio
+from repro.sim import Simulator
+
+
+class TestPolicies:
+    def test_linear_policy_zero_above_threshold(self):
+        policy = linear_sleep_policy(threshold=0.8, max_sleep_fraction=0.9)
+        assert policy(1.0) == 0.0
+        assert policy(0.8) == 0.0
+
+    def test_linear_policy_rises_as_battery_drains(self):
+        policy = linear_sleep_policy(threshold=0.8, max_sleep_fraction=0.9)
+        assert 0.0 < policy(0.5) < policy(0.2) < policy(0.05)
+
+    def test_linear_policy_max_at_empty(self):
+        policy = linear_sleep_policy(threshold=0.8, max_sleep_fraction=0.9)
+        assert policy(0.0) == pytest.approx(0.9)
+
+    def test_aggressive_policy_is_constant(self):
+        policy = aggressive_sleep_policy(duty=0.5)
+        assert policy(1.0) == policy(0.1) == 0.5
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            linear_sleep_policy(threshold=0.0)
+        with pytest.raises(ValueError):
+            linear_sleep_policy(max_sleep_fraction=1.0)
+        with pytest.raises(ValueError):
+            aggressive_sleep_policy(duty=1.0)
+
+
+def make_node(capacity_j, policy=None, cycle_s=1.0):
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    battery = Battery(capacity_j=capacity_j)
+    node = PamasNode(sim, radio, battery, policy=policy, cycle_s=cycle_s)
+    return sim, node, radio, battery
+
+
+def test_full_battery_node_stays_awake():
+    sim, node, radio, battery = make_node(capacity_j=10_000.0)
+    sim.run(until=10.0)
+    assert node.stats.asleep_time_s == 0.0
+    assert node.stats.awake_time_s == pytest.approx(10.0)
+
+
+def test_draining_node_starts_sleeping():
+    # Small battery: idle power (0.83 W) drains it below threshold quickly.
+    sim, node, radio, battery = make_node(capacity_j=20.0)
+    sim.run(until=20.0)
+    assert node.stats.asleep_time_s > 0.0
+
+
+def test_battery_aware_sleep_extends_lifetime():
+    lifetimes = {}
+    for name, policy in (
+        ("aware", linear_sleep_policy(threshold=0.9, max_sleep_fraction=0.9)),
+        ("naive", aggressive_sleep_policy(duty=0.0)),
+    ):
+        sim, node, radio, battery = make_node(capacity_j=15.0, policy=policy)
+        sim.run(until=200.0)
+        lifetimes[name] = node.stats.died_at_s or 200.0
+    assert lifetimes["aware"] > lifetimes["naive"]
+
+
+def test_node_dies_when_battery_empties():
+    sim, node, radio, battery = make_node(
+        capacity_j=5.0, policy=aggressive_sleep_policy(duty=0.0)
+    )
+    sim.run(until=100.0)
+    assert not node.is_alive
+    assert node.stats.died_at_s is not None
+    # 5 J at 0.83 W idle -> ~6 s (cycle granularity rounds up).
+    assert node.stats.died_at_s == pytest.approx(7.0, abs=1.5)
+
+
+def test_availability_metric():
+    sim, node, radio, battery = make_node(
+        capacity_j=1e6, policy=aggressive_sleep_policy(duty=0.25)
+    )
+    sim.run(until=40.0)
+    assert node.stats.availability == pytest.approx(0.75, abs=0.05)
+
+
+def test_is_receivable_tracks_radio():
+    sim, node, radio, battery = make_node(capacity_j=1e6)
+    sim.run(until=5.0)
+    assert node.is_receivable
+
+
+def test_bad_policy_return_value_raises():
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    battery = Battery(capacity_j=100.0)
+    PamasNode(sim, radio, battery, policy=lambda soc: 1.5)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_cycle_validation():
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    battery = Battery(capacity_j=100.0)
+    with pytest.raises(ValueError):
+        PamasNode(sim, radio, battery, cycle_s=0.0)

@@ -1,0 +1,170 @@
+"""Tests for ARF/AARF rate adaptation."""
+
+import random
+
+import pytest
+
+from repro.mac import AarfRateController, ArfRateController, DcfConfig, DcfStation, Medium
+from repro.mac.frames import FrameKind
+from repro.mac.rate_adaptation import DEFAULT_RATES_BPS
+from repro.sim import RandomStreams, Simulator
+
+
+class TestArf:
+    def test_starts_at_top_rate(self):
+        controller = ArfRateController()
+        assert controller.current_rate_bps == 11e6
+
+    def test_consecutive_failures_step_down(self):
+        controller = ArfRateController(down_threshold=2)
+        controller.on_failure()
+        assert controller.current_rate_bps == 11e6  # one failure tolerated
+        controller.on_failure()
+        assert controller.current_rate_bps == 5.5e6
+
+    def test_success_resets_failure_count(self):
+        controller = ArfRateController(down_threshold=2)
+        controller.on_failure()
+        controller.on_success()
+        controller.on_failure()
+        assert controller.current_rate_bps == 11e6
+
+    def test_successes_step_up(self):
+        controller = ArfRateController(up_threshold=3, start_index=0)
+        for _ in range(3):
+            controller.on_success()
+        assert controller.current_rate_bps == 2e6
+        assert controller.steps_up == 1
+
+    def test_failed_probe_steps_straight_back(self):
+        controller = ArfRateController(up_threshold=3, down_threshold=5, start_index=0)
+        for _ in range(3):
+            controller.on_success()
+        assert controller.rate_index == 1
+        controller.on_failure()  # the probe frame fails
+        assert controller.rate_index == 0  # immediate fallback, not 5 failures
+
+    def test_floor_and_ceiling(self):
+        controller = ArfRateController(start_index=0, down_threshold=1)
+        controller.on_failure()
+        assert controller.rate_index == 0  # cannot go below the floor
+        top = ArfRateController(up_threshold=1)
+        for _ in range(50):
+            top.on_success()
+        assert top.current_rate_bps == 11e6  # cannot exceed the ceiling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArfRateController(rates_bps=[])
+        with pytest.raises(ValueError):
+            ArfRateController(rates_bps=[2e6, 1e6])
+        with pytest.raises(ValueError):
+            ArfRateController(up_threshold=0)
+        with pytest.raises(ValueError):
+            ArfRateController(start_index=9)
+
+
+class TestAarf:
+    def test_failed_probe_doubles_threshold(self):
+        controller = AarfRateController(up_threshold=4, start_index=0)
+        for _ in range(4):
+            controller.on_success()
+        controller.on_failure()  # probe fails
+        assert controller.up_threshold == 8
+        for _ in range(8):
+            controller.on_success()
+        controller.on_failure()
+        assert controller.up_threshold == 16
+
+    def test_threshold_capped(self):
+        controller = AarfRateController(
+            up_threshold=4, max_up_threshold=8, start_index=0
+        )
+        for _round in range(5):
+            for _ in range(controller.up_threshold):
+                controller.on_success()
+            controller.on_failure()
+        assert controller.up_threshold == 8
+
+    def test_normal_failure_resets_threshold(self):
+        controller = AarfRateController(up_threshold=4, down_threshold=2, start_index=1)
+        for _ in range(4):
+            controller.on_success()
+        controller.on_failure()  # failed probe -> threshold 8
+        assert controller.up_threshold == 8
+        controller.on_failure()
+        controller.on_failure()  # ordinary fallback resets the threshold
+        assert controller.up_threshold == 4
+
+    def test_aarf_probes_less_than_arf_on_marginal_channel(self):
+        """Channel supports rate 0 but never rate 1: AARF loses fewer
+        frames to probes over a long run."""
+
+        def run(controller):
+            losses = 0
+            for _ in range(2000):
+                if controller.rate_index == 0:
+                    controller.on_success()
+                else:
+                    controller.on_failure()  # probe frame lost
+                    losses += 1
+            return losses
+
+        arf_losses = run(ArfRateController(up_threshold=10, start_index=0))
+        aarf_losses = run(AarfRateController(up_threshold=10, start_index=0))
+        assert aarf_losses < arf_losses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AarfRateController(up_threshold=10, max_up_threshold=5)
+
+
+class TestDcfIntegration:
+    def make_pair(self, error_model=None):
+        sim = Simulator()
+        medium = Medium(sim, error_model=error_model)
+        streams = RandomStreams(seed=1)
+        controller = ArfRateController(up_threshold=3, down_threshold=2)
+        sender = DcfStation(
+            sim, medium, "a", rng=streams.stream("a"),
+            config=DcfConfig(rate_controller=controller),
+        )
+        received = []
+        DcfStation(
+            sim, medium, "b", rng=streams.stream("b"),
+            on_receive=lambda f: received.append(f),
+        )
+        return sim, sender, controller, received
+
+    def test_clean_channel_stays_at_top_rate(self):
+        sim, sender, controller, received = self.make_pair()
+
+        def traffic(sim):
+            for i in range(10):
+                yield sender.send("b", 1000)
+
+        sim.process(traffic(sim))
+        sim.run()
+        assert controller.current_rate_bps == 11e6
+        assert all(f.rate_bps == 11e6 for f in received)
+
+    def test_bad_channel_falls_back(self):
+        # Frames above 2 Mb/s always die; slower frames always survive.
+        def rate_gate(frame, now):
+            if frame.kind is FrameKind.DATA:
+                return frame.rate_bps <= 2e6
+            return True
+
+        sim, sender, controller, received = self.make_pair(error_model=rate_gate)
+
+        def traffic(sim):
+            for i in range(10):
+                yield sender.send("b", 1000)
+
+        sim.process(traffic(sim))
+        sim.run()
+        assert received, "fallback must eventually deliver"
+        assert controller.current_rate_bps <= 2e6
+        assert sender.frames_dropped < 3
+        # Delivered frames were sent at a surviving rate.
+        assert all(f.rate_bps <= 2e6 for f in received)

@@ -1,0 +1,139 @@
+"""Tests for the RTS/CTS exchange in DCF."""
+
+import pytest
+
+from repro.mac import DcfConfig, DcfStation, Medium
+from repro.mac.frames import FrameKind
+from repro.sim import RandomStreams, Simulator
+
+
+def make_pair(rts_threshold=500, error_model=None, seed=1):
+    sim = Simulator()
+    medium = Medium(sim, error_model=error_model)
+    streams = RandomStreams(seed=seed)
+    received = []
+    sender = DcfStation(
+        sim, medium, "a", rng=streams.stream("a"),
+        config=DcfConfig(rts_threshold_bytes=rts_threshold),
+    )
+    DcfStation(
+        sim, medium, "b", rng=streams.stream("b"),
+        on_receive=lambda f: received.append(f),
+    )
+    return sim, medium, sender, received
+
+
+def test_large_frame_uses_rts_cts():
+    sim, medium, sender, received = make_pair(rts_threshold=500)
+    results = []
+
+    def body(sim):
+        ok = yield sender.send("b", 1500)
+        results.append(ok)
+
+    sim.process(body(sim))
+    sim.run()
+    assert results == [True]
+    assert sender.rts_sent == 1
+    assert sender.cts_received == 1
+    assert len(received) == 1
+    # RTS + CTS + DATA + ACK on the air.
+    assert medium.frames_sent == 4
+
+
+def test_small_frame_skips_rts():
+    sim, medium, sender, received = make_pair(rts_threshold=500)
+
+    def body(sim):
+        yield sender.send("b", 100)
+
+    sim.process(body(sim))
+    sim.run()
+    assert sender.rts_sent == 0
+    assert medium.frames_sent == 2  # DATA + ACK only
+
+
+def test_no_threshold_disables_rts():
+    sim, medium, sender, received = make_pair(rts_threshold=None)
+
+    def body(sim):
+        yield sender.send("b", 1500)
+
+    sim.process(body(sim))
+    sim.run()
+    assert sender.rts_sent == 0
+
+
+def test_lost_cts_retries_and_recovers():
+    # Destroy the first CTS only.
+    state = {"killed": False}
+
+    def kill_first_cts(frame, now):
+        if frame.kind is FrameKind.CTS and not state["killed"]:
+            state["killed"] = True
+            return False
+        return True
+
+    sim, medium, sender, received = make_pair(error_model=kill_first_cts)
+    results = []
+
+    def body(sim):
+        ok = yield sender.send("b", 1500)
+        results.append(ok)
+
+    sim.process(body(sim))
+    sim.run()
+    assert results == [True]
+    assert sender.rts_sent == 2
+    assert sender.cts_received == 1
+    assert len(received) == 1
+
+
+def test_rts_collision_cheaper_than_data_collision():
+    """Under forced contention with big frames, RTS/CTS loses less
+    airtime to collisions than bare DCF."""
+
+    def run(rts_threshold):
+        sim = Simulator()
+        medium = Medium(sim)
+        streams = RandomStreams(seed=3)
+        sink = DcfStation(sim, medium, "sink", rng=streams.stream("sink"))
+        stations = [
+            DcfStation(
+                sim, medium, f"s{i}", rng=streams.stream(f"s{i}"),
+                config=DcfConfig(rts_threshold_bytes=rts_threshold, rate_bps=1e6),
+            )
+            for i in range(5)
+        ]
+
+        def burst(sim, station):
+            for _ in range(8):
+                yield station.send("sink", 1500)
+
+        for station in stations:
+            sim.process(burst(sim, station))
+        sim.run(until=10.0)
+        collided_airtime = 0.0
+        return medium, stations
+
+    bare_medium, bare_stations = run(rts_threshold=None)
+    rts_medium, rts_stations = run(rts_threshold=500)
+    # All traffic delivered either way.
+    assert all(s.frames_dropped == 0 for s in bare_stations)
+    assert all(s.frames_dropped == 0 for s in rts_stations)
+    if rts_medium.frames_collided > 0:
+        # Collisions involve 20-byte RTS frames instead of 1500-byte data.
+        assert rts_medium.busy_time_s <= bare_medium.busy_time_s * 1.1
+
+
+def test_cts_responder_does_not_dedupe_data():
+    """The data frame after the RTS/CTS must still be delivered once."""
+    sim, medium, sender, received = make_pair()
+
+    def body(sim):
+        yield sender.send("b", 1500, payload="x")
+        yield sender.send("b", 1500, payload="y")
+
+    sim.process(body(sim))
+    sim.run()
+    assert [f.payload for f in received] == ["x", "y"]

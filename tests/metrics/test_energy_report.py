@@ -1,0 +1,82 @@
+"""Tests for energy breakdowns and client reports."""
+
+import pytest
+
+from repro.devices import ipaq_3970, wlan_cf_card
+from repro.metrics import ClientEnergyReport, EnergyBreakdown
+from repro.metrics.energy import wnic_power_saving_fraction
+from repro.phy import Radio
+from repro.sim import Simulator
+
+
+def run_radio(seconds=10.0, doze_after=None):
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    if doze_after is not None:
+
+        def driver(sim, radio):
+            yield sim.timeout(doze_after)
+            yield radio.transition_to("doze")
+
+        sim.process(driver(sim, radio))
+    sim.run(until=seconds)
+    return radio
+
+
+class TestEnergyBreakdown:
+    def test_snapshot_of_constant_idle(self):
+        radio = run_radio(10.0)
+        breakdown = EnergyBreakdown.of(radio)
+        assert breakdown.energy_j == pytest.approx(8.3)
+        assert breakdown.average_power_w == pytest.approx(0.83)
+        assert breakdown.time_in_state_s["idle"] == pytest.approx(10.0)
+
+    def test_duty_cycle(self):
+        radio = run_radio(10.0, doze_after=4.0)
+        breakdown = EnergyBreakdown.of(radio)
+        assert breakdown.duty_cycle() == pytest.approx(0.4, abs=0.01)
+
+
+class TestClientEnergyReport:
+    def make_report(self, busy_fraction=0.2):
+        radio = run_radio(10.0)
+        return ClientEnergyReport(
+            client="c0",
+            radios=[EnergyBreakdown.of(radio)],
+            platform=ipaq_3970(),
+            platform_busy_fraction=busy_fraction,
+            elapsed_s=10.0,
+        )
+
+    def test_wnic_aggregation(self):
+        report = self.make_report()
+        assert report.wnic_energy_j() == pytest.approx(8.3)
+        assert report.wnic_average_power_w() == pytest.approx(0.83)
+
+    def test_platform_power_mixes_busy_and_idle(self):
+        report = self.make_report(busy_fraction=0.5)
+        expected = 0.5 * 1.57 + 0.5 * 0.98
+        assert report.platform_average_power_w() == pytest.approx(expected)
+
+    def test_total_includes_both(self):
+        report = self.make_report(busy_fraction=0.0)
+        assert report.total_average_power_w() == pytest.approx(0.98 + 0.83)
+        assert report.total_energy_j() == pytest.approx(9.8 + 8.3)
+
+    def test_no_platform(self):
+        radio = run_radio(5.0)
+        report = ClientEnergyReport(
+            client="c0", radios=[EnergyBreakdown.of(radio)], elapsed_s=5.0
+        )
+        assert report.platform_average_power_w() == 0.0
+
+
+class TestSavingFraction:
+    def test_paper_number(self):
+        assert wnic_power_saving_fraction(1.0, 0.03) == pytest.approx(0.97)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wnic_power_saving_fraction(0.0, 0.1)
+        with pytest.raises(ValueError):
+            wnic_power_saving_fraction(1.0, -0.1)

@@ -1,0 +1,85 @@
+"""Property-based tests: playout-buffer conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import PlayoutBuffer
+
+deliveries = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # gap
+        st.integers(min_value=0, max_value=100_000),  # bytes
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=100)
+@given(deliveries, st.floats(min_value=1_000.0, max_value=1e6))
+def test_level_never_negative(delivery_list, rate):
+    buffer = PlayoutBuffer(drain_rate_bps=rate, prebuffer_s=0.5)
+    time = 0.0
+    for gap, nbytes in delivery_list:
+        time += gap
+        buffer.deliver(time, nbytes)
+        assert buffer.level_bytes >= 0.0
+    buffer.finish(time + 10.0)
+    assert buffer.level_bytes >= 0.0
+
+
+@settings(max_examples=100)
+@given(deliveries)
+def test_byte_conservation(delivery_list):
+    """delivered == drained + still-buffered + overflowed."""
+    rate = 64_000.0
+    buffer = PlayoutBuffer(
+        drain_rate_bps=rate, prebuffer_s=0.5, capacity_bytes=50_000
+    )
+    time = 0.0
+    for gap, nbytes in delivery_list:
+        time += gap
+        buffer.deliver(time, nbytes)
+    end = time + 3.0
+    summary = buffer.finish(end)
+    delivered = summary.bytes_delivered
+    # Drained = playback time x rate, excluding stall time and pre-play.
+    if buffer.started_at_s is None:
+        drained = 0.0
+    else:
+        drained = (
+            (end - buffer.started_at_s) - summary.underrun_time_s
+        ) * rate / 8.0
+    total = drained + buffer.level_bytes + buffer.overflow_bytes
+    assert abs(total - delivered) < 1.0  # float tolerance in bytes
+
+
+@settings(max_examples=100)
+@given(deliveries)
+def test_underrun_time_bounded_by_playback_window(delivery_list):
+    buffer = PlayoutBuffer(drain_rate_bps=128_000.0, prebuffer_s=1.0)
+    time = 0.0
+    for gap, nbytes in delivery_list:
+        time += gap
+        buffer.deliver(time, nbytes)
+    end = time + 5.0
+    summary = buffer.finish(end)
+    if buffer.started_at_s is None:
+        assert summary.underrun_time_s == 0.0
+    else:
+        assert summary.underrun_time_s <= end - buffer.started_at_s + 1e-9
+
+
+@settings(max_examples=100)
+@given(deliveries)
+def test_no_underruns_before_playback_starts(delivery_list):
+    """A buffer that never reaches its prebuffer threshold never stalls."""
+    buffer = PlayoutBuffer(drain_rate_bps=1e9, prebuffer_s=3600.0)
+    time = 0.0
+    for gap, nbytes in delivery_list:
+        time += gap
+        buffer.deliver(time, nbytes)
+    summary = buffer.finish(time + 100.0)
+    if not buffer.playing:
+        assert summary.underruns == 0
+        assert summary.underrun_time_s == 0.0

@@ -1,0 +1,76 @@
+"""Tests for the Figure-1 schedule timeline renderer."""
+
+import pytest
+
+from repro.devices import wlan_cf_card
+from repro.metrics import render_schedule_timeline
+from repro.metrics.timeline import sample_states
+from repro.phy import Radio
+from repro.sim import Simulator
+from repro.sim.stats import TimeSeries
+
+
+class TestSampleStates:
+    def test_samples_at_midpoints(self):
+        series = TimeSeries()
+        series.append(0.0, "a")
+        series.append(5.0, "b")
+        samples = sample_states(series, 0.0, 10.0, columns=4)
+        assert samples == ["a", "a", "b", "b"]
+
+    def test_before_first_sample_is_unknown(self):
+        series = TimeSeries()
+        series.append(5.0, "x")
+        samples = sample_states(series, 0.0, 10.0, columns=2)
+        assert samples == ["?", "x"]
+
+    def test_validation(self):
+        series = TimeSeries()
+        series.append(0.0, "a")
+        with pytest.raises(ValueError):
+            sample_states(series, 0.0, 10.0, columns=0)
+        with pytest.raises(ValueError):
+            sample_states(series, 10.0, 10.0, columns=5)
+
+
+class TestRenderTimeline:
+    def make_radio_with_bursts(self):
+        sim = Simulator()
+        radio = Radio(sim, wlan_cf_card())
+
+        def driver(sim, radio):
+            yield radio.transition_to("off")
+            for _ in range(3):
+                yield sim.timeout(2.0)
+                yield radio.transition_to("rx")
+                yield sim.timeout(0.5)
+                yield radio.transition_to("off")
+
+        sim.process(driver(sim, radio))
+        sim.run(until=10.0)
+        return radio
+
+    def test_renders_rows_per_client(self):
+        radio = self.make_radio_with_bursts()
+        text = render_schedule_timeline({"client0": radio}, 0.0, 10.0, columns=40)
+        lines = text.splitlines()
+        assert any("client0 data" in line for line in lines)
+        assert any("client0 power" in line for line in lines)
+        assert any("legend" in line for line in lines)
+
+    def test_transfers_marked(self):
+        radio = self.make_radio_with_bursts()
+        text = render_schedule_timeline({"c": radio}, 0.0, 10.0, columns=80)
+        data_row = next(line for line in text.splitlines() if "c data" in line)
+        assert "X" in data_row
+
+    def test_off_period_blank_power(self):
+        radio = self.make_radio_with_bursts()
+        text = render_schedule_timeline({"c": radio}, 0.0, 10.0, columns=80)
+        power_row = next(line for line in text.splitlines() if "c power" in line)
+        # Mostly off -> mostly blank between the bars.
+        assert power_row.count(" ") > 40
+
+    def test_requires_radios(self):
+        with pytest.raises(ValueError):
+            render_schedule_timeline({}, 0.0, 10.0)

@@ -1,0 +1,102 @@
+"""Tests for CPU dynamic voltage scaling."""
+
+import pytest
+
+from repro.oslayer import (
+    CpuFrequency,
+    DvsSchedule,
+    PeriodicTask,
+    select_lowest_feasible_frequency,
+)
+from repro.oslayer.dvs import PXA250_POINTS, utilisation_at
+
+
+def light_tasks():
+    return [
+        PeriodicTask("audio", wcet_at_fmax_s=0.002, period_s=0.026),
+        PeriodicTask("ui", wcet_at_fmax_s=0.001, period_s=0.1),
+    ]
+
+
+def heavy_tasks():
+    return [
+        PeriodicTask("codec", wcet_at_fmax_s=0.02, period_s=0.026),
+        PeriodicTask("net", wcet_at_fmax_s=0.005, period_s=0.05),
+    ]
+
+
+class TestCpuFrequency:
+    def test_power_scales_with_v_squared_f(self):
+        slow = CpuFrequency(100e6, 1.0)
+        fast = CpuFrequency(200e6, 2.0)
+        assert fast.power_w() == pytest.approx(slow.power_w() * 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuFrequency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            CpuFrequency(100e6, 0.0)
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("x", wcet_at_fmax_s=0.0, period_s=1.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("x", wcet_at_fmax_s=2.0, period_s=1.0)
+
+
+class TestSelection:
+    def test_light_load_gets_lowest_frequency(self):
+        chosen = select_lowest_feasible_frequency(light_tasks())
+        assert chosen.frequency_hz == 100e6
+
+    def test_heavy_load_needs_max_frequency(self):
+        chosen = select_lowest_feasible_frequency(heavy_tasks())
+        assert chosen.frequency_hz == 400e6
+
+    def test_infeasible_raises(self):
+        tasks = [PeriodicTask("hog", wcet_at_fmax_s=0.9, period_s=1.0)] * 2
+        with pytest.raises(ValueError, match="infeasible"):
+            select_lowest_feasible_frequency(tasks)
+
+    def test_utilisation_scales_inversely_with_frequency(self):
+        tasks = light_tasks()
+        u_max = utilisation_at(tasks, PXA250_POINTS[-1], 400e6)
+        u_min = utilisation_at(tasks, PXA250_POINTS[0], 400e6)
+        assert u_min == pytest.approx(u_max * 4.0)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            select_lowest_feasible_frequency(light_tasks(), points=[])
+
+
+class TestSchedule:
+    def test_chosen_point_is_feasible(self):
+        schedule = DvsSchedule.plan(light_tasks())
+        assert schedule.is_feasible()
+
+    def test_dvs_saves_energy_on_light_load(self):
+        schedule = DvsSchedule.plan(light_tasks())
+        assert schedule.energy_at_chosen_j() < schedule.energy_at_max_j()
+        assert schedule.saving_fraction() > 0.4
+
+    def test_no_saving_when_max_frequency_needed(self):
+        schedule = DvsSchedule.plan(heavy_tasks())
+        assert schedule.saving_fraction() == pytest.approx(0.0)
+
+    def test_hyperperiod_is_lcm(self):
+        tasks = [
+            PeriodicTask("a", 0.001, 0.02),
+            PeriodicTask("b", 0.001, 0.03),
+        ]
+        schedule = DvsSchedule.plan(tasks)
+        assert schedule.hyperperiod_s() == pytest.approx(0.06)
+
+    def test_busy_time_conserved_in_cycles(self):
+        """Slower frequency means proportionally longer busy time."""
+        schedule = DvsSchedule.plan(light_tasks())
+        ratio = schedule.f_max.frequency_hz / schedule.chosen.frequency_hz
+        assert schedule._busy_time_s(schedule.chosen) == pytest.approx(
+            schedule._busy_time_s(schedule.f_max) * ratio
+        )

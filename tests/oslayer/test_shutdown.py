@@ -1,0 +1,167 @@
+"""Tests for OS-level device shutdown policies."""
+
+import pytest
+
+from repro.devices import wlan_cf_card
+from repro.oslayer import (
+    AdaptiveTimeoutPolicy,
+    AlwaysOnPolicy,
+    DevicePowerManager,
+    FixedTimeoutPolicy,
+    PredictiveEwmaPolicy,
+    break_even_time_s,
+)
+from repro.phy import Radio
+from repro.sim import Simulator
+
+
+def make_manager(policy, sleep_state="off"):
+    sim = Simulator()
+    radio = Radio(sim, wlan_cf_card())
+    manager = DevicePowerManager(sim, radio, policy, sleep_state=sleep_state)
+    return sim, radio, manager
+
+
+def bursty_requests(sim, manager, gaps, service_s=0.001):
+    """Submit one request after each gap in ``gaps``."""
+
+    def body():
+        for gap in gaps:
+            yield sim.timeout(gap)
+            manager.submit(service_s)
+
+    return sim.process(body(), name="workload")
+
+
+class TestBreakEven:
+    def test_positive_for_wlan_off(self):
+        sim = Simulator()
+        radio = Radio(sim, wlan_cf_card())
+        t_be = break_even_time_s(radio, "idle", "off")
+        # (0.25 + 0.005) J / 0.83 W, plus transition-duration penalty.
+        assert 0.25 < t_be < 0.45
+
+    def test_infinite_when_sleep_saves_nothing(self):
+        sim = Simulator()
+        radio = Radio(sim, wlan_cf_card())
+        assert break_even_time_s(radio, "idle", "idle") == float("inf")
+
+    def test_doze_break_even_much_shorter_than_off(self):
+        sim = Simulator()
+        radio = Radio(sim, wlan_cf_card())
+        assert break_even_time_s(radio, "idle", "doze") < 0.05
+
+
+class TestPolicies:
+    def test_always_on_never_sleeps(self):
+        sim, radio, manager = make_manager(AlwaysOnPolicy())
+        bursty_requests(sim, manager, [1.0] * 5)
+        sim.run(until=10.0)
+        assert manager.stats.sleeps == 0
+        assert radio.time_in_state("off") == 0.0
+
+    def test_fixed_timeout_sleeps_after_timeout(self):
+        sim, radio, manager = make_manager(FixedTimeoutPolicy(0.5))
+        bursty_requests(sim, manager, [0.1, 5.0])
+        sim.run(until=10.0)
+        assert manager.stats.sleeps >= 1
+        assert radio.time_in_state("off") > 3.0
+
+    def test_fixed_timeout_avoids_sleep_in_busy_periods(self):
+        sim, radio, manager = make_manager(FixedTimeoutPolicy(0.5))
+        bursty_requests(sim, manager, [0.1] * 50)  # gaps well under timeout
+        sim.run(until=10.0)
+        # No sleeps during the busy phase; at most the one final sleep
+        # after the workload ends.
+        assert manager.stats.sleeps <= 1
+
+    def test_long_idle_saves_energy_with_timeout_policy(self):
+        def run(policy):
+            sim, radio, manager = make_manager(policy)
+            bursty_requests(sim, manager, [0.05, 20.0, 0.05])
+            sim.run(until=30.0)
+            return radio.energy_j()
+
+        lazy = run(AlwaysOnPolicy())
+        eager = run(FixedTimeoutPolicy(0.5))
+        assert eager < 0.5 * lazy
+
+    def test_wakeup_on_demand_adds_latency(self):
+        sim, radio, manager = make_manager(FixedTimeoutPolicy(0.1))
+        bursty_requests(sim, manager, [0.05, 5.0])
+        sim.run(until=10.0)
+        assert manager.stats.wakeups_on_demand >= 1
+        # WLAN off->idle costs 300 ms; the late request paid it.
+        assert manager.stats.added_latency_s >= 0.29
+
+    def test_adaptive_timeout_grows_on_short_idles(self):
+        policy = AdaptiveTimeoutPolicy(initial_s=0.2, break_even_s=0.4)
+        sim, radio, manager = make_manager(policy)
+        bursty_requests(sim, manager, [0.3] * 20)
+        sim.run(until=30.0)
+        assert policy.timeout_s > 0.2
+
+    def test_adaptive_timeout_shrinks_on_long_idles(self):
+        policy = AdaptiveTimeoutPolicy(initial_s=5.0, break_even_s=0.4)
+        sim, radio, manager = make_manager(policy)
+        bursty_requests(sim, manager, [30.0] * 3)
+        sim.run(until=120.0)
+        assert policy.timeout_s < 5.0
+
+    def test_predictive_sleeps_immediately_when_history_is_idle(self):
+        policy = PredictiveEwmaPolicy(break_even_s=0.4, smoothing=0.5)
+        sim, radio, manager = make_manager(policy)
+        bursty_requests(sim, manager, [3.0] * 10)
+        sim.run(until=40.0)
+        # After a couple of long idles the predictor sleeps with no timeout
+        # slack, so off-time approaches total idle time.
+        assert radio.time_in_state("off") > 20.0
+
+    def test_predictive_never_sleeps_on_busy_history(self):
+        policy = PredictiveEwmaPolicy(break_even_s=0.4, smoothing=0.5)
+        sim, radio, manager = make_manager(policy)
+        bursty_requests(sim, manager, [0.05] * 40)
+        sim.run(until=10.0)
+        assert manager.stats.sleeps == 0
+
+    def test_predictive_beats_fixed_timeout_on_regular_idle(self):
+        """With long regular idles, predictive avoids the timeout slack."""
+
+        def run(policy):
+            sim, radio, manager = make_manager(policy)
+            bursty_requests(sim, manager, [2.0] * 15)
+            sim.run(until=40.0)
+            return radio.energy_j()
+
+        fixed = run(FixedTimeoutPolicy(1.0))
+        predictive = run(PredictiveEwmaPolicy(break_even_s=0.4, smoothing=0.5))
+        assert predictive < fixed
+
+
+class TestValidation:
+    def test_policy_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FixedTimeoutPolicy(-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutPolicy(initial_s=0.0001, break_even_s=0.4, min_s=0.01)
+        with pytest.raises(ValueError):
+            AdaptiveTimeoutPolicy(initial_s=1.0, break_even_s=0.0)
+        with pytest.raises(ValueError):
+            PredictiveEwmaPolicy(break_even_s=0.0)
+        with pytest.raises(ValueError):
+            PredictiveEwmaPolicy(break_even_s=0.4, smoothing=2.0)
+
+    def test_manager_validation(self):
+        sim = Simulator()
+        radio = Radio(sim, wlan_cf_card())
+        with pytest.raises(KeyError):
+            DevicePowerManager(sim, radio, AlwaysOnPolicy(), sleep_state="ghost")
+        manager = DevicePowerManager(sim, radio, AlwaysOnPolicy())
+        with pytest.raises(ValueError):
+            manager.submit(service_s=-1.0)
+
+    def test_idle_periods_recorded(self):
+        sim, radio, manager = make_manager(FixedTimeoutPolicy(0.5))
+        bursty_requests(sim, manager, [1.0, 2.0, 3.0])
+        sim.run(until=10.0)
+        assert len(manager.stats.idle_periods) >= 3

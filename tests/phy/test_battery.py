@@ -1,0 +1,96 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.phy import Battery
+
+
+def test_full_at_construction():
+    battery = Battery(capacity_j=100.0)
+    assert battery.state_of_charge == 1.0
+    assert not battery.is_empty
+
+
+def test_linear_draw():
+    battery = Battery(capacity_j=100.0)
+    taken = battery.draw(power_w=2.0, duration_s=10.0)
+    assert taken == pytest.approx(20.0)
+    assert battery.remaining_j == pytest.approx(80.0)
+    assert battery.state_of_charge == pytest.approx(0.8)
+
+
+def test_draw_beyond_capacity_clamps():
+    battery = Battery(capacity_j=10.0)
+    taken = battery.draw(power_w=100.0, duration_s=1.0)
+    assert taken == pytest.approx(10.0)
+    assert battery.is_empty
+    # Further draws remove nothing.
+    assert battery.draw(1.0, 1.0) == 0.0
+
+
+def test_peukert_penalises_high_power():
+    ideal = Battery(capacity_j=100.0, rated_power_w=1.0, peukert_exponent=1.0)
+    peukert = Battery(capacity_j=100.0, rated_power_w=1.0, peukert_exponent=1.2)
+    ideal.draw(4.0, 5.0)
+    peukert.draw(4.0, 5.0)
+    assert peukert.remaining_j < ideal.remaining_j
+
+
+def test_peukert_neutral_at_rated_power():
+    battery = Battery(capacity_j=100.0, rated_power_w=2.0, peukert_exponent=1.3)
+    assert battery.effective_power_w(2.0) == pytest.approx(2.0)
+
+
+def test_peukert_discount_below_rated_power():
+    battery = Battery(capacity_j=100.0, rated_power_w=2.0, peukert_exponent=1.3)
+    assert battery.effective_power_w(1.0) < 1.0
+
+
+def test_cutoff_marks_empty_early():
+    battery = Battery(capacity_j=100.0, cutoff_fraction=0.2)
+    battery.draw(1.0, 80.0)
+    assert battery.is_empty
+    assert battery.remaining_j == pytest.approx(20.0)
+
+
+def test_lifetime_estimate_linear():
+    battery = Battery(capacity_j=100.0)
+    assert battery.lifetime_at_power_s(2.0) == pytest.approx(50.0)
+
+
+def test_lifetime_estimate_with_cutoff():
+    battery = Battery(capacity_j=100.0, cutoff_fraction=0.5)
+    assert battery.lifetime_at_power_s(1.0) == pytest.approx(50.0)
+
+
+def test_lifetime_at_zero_power_is_infinite():
+    assert Battery(capacity_j=10.0).lifetime_at_power_s(0.0) == float("inf")
+
+
+def test_lifetime_of_empty_battery_is_zero():
+    battery = Battery(capacity_j=10.0)
+    battery.draw(10.0, 1.0)
+    assert battery.lifetime_at_power_s(1.0) == 0.0
+
+
+def test_from_mah():
+    battery = Battery.from_mah(1400.0, 3.7)
+    # 1400 mAh * 3.6 * 3.7 V = 18648 J (the iPAQ 3970 pack).
+    assert battery.capacity_j == pytest.approx(18648.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Battery(capacity_j=0.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=10.0, rated_power_w=0.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=10.0, peukert_exponent=0.9)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=10.0, cutoff_fraction=1.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=10.0).draw(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        Battery(capacity_j=10.0).draw(1.0, -1.0)
+    with pytest.raises(ValueError):
+        Battery.from_mah(0.0, 3.7)

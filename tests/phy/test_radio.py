@@ -1,0 +1,213 @@
+"""Tests for the radio power-state machine and its energy accounting."""
+
+import pytest
+
+from repro.phy import PowerState, Radio, RadioPowerModel, Transition
+from repro.sim import Simulator
+
+
+def two_state_model(**kwargs):
+    return RadioPowerModel(
+        name="toy",
+        states=[
+            PowerState("on", power_w=1.0, can_communicate=True),
+            PowerState("sleep", power_w=0.1),
+        ],
+        transitions=[
+            Transition("sleep", "on", latency_s=0.5, energy_j=1.0),
+            Transition("on", "sleep", latency_s=0.0, energy_j=0.25),
+        ],
+        initial_state="on",
+        **kwargs,
+    )
+
+
+class TestRadioPowerModel:
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(ValueError):
+            RadioPowerModel("m", [PowerState("a", 1.0), PowerState("a", 2.0)])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            RadioPowerModel("m", [])
+
+    def test_unknown_state_in_transition_rejected(self):
+        with pytest.raises(KeyError):
+            RadioPowerModel(
+                "m", [PowerState("a", 1.0)], [Transition("a", "ghost")]
+            )
+
+    def test_unlisted_transition_defaults_to_free(self):
+        model = RadioPowerModel("m", [PowerState("a", 1.0), PowerState("b", 2.0)])
+        transition = model.transition("a", "b")
+        assert transition.latency_s == 0.0
+        assert transition.energy_j == 0.0
+
+    def test_power_lookup(self):
+        model = two_state_model()
+        assert model.power("on") == 1.0
+        assert model.power("sleep") == 0.1
+        with pytest.raises(KeyError):
+            model.power("nope")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerState("x", power_w=-1.0)
+
+    def test_negative_transition_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Transition("a", "b", latency_s=-1.0)
+        with pytest.raises(ValueError):
+            Transition("a", "b", energy_j=-1.0)
+
+
+class TestRadio:
+    def test_initial_state_and_power(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        assert radio.state == "on"
+        assert radio.current_power_w() == 1.0
+        assert radio.can_communicate
+
+    def test_energy_of_constant_state(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        sim.run(until=10.0)
+        assert radio.energy_j() == pytest.approx(10.0)
+        assert radio.average_power_w() == pytest.approx(1.0)
+
+    def test_instant_transition_adds_impulse_energy(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield sim.timeout(4.0)
+            yield radio.transition_to("sleep")
+
+        sim.process(driver(sim, radio))
+        sim.run(until=10.0)
+        # 4 s at 1 W + 0.25 J impulse + 6 s at 0.1 W
+        assert radio.energy_j() == pytest.approx(4.0 + 0.25 + 0.6)
+        assert radio.state == "sleep"
+        assert not radio.can_communicate
+
+    def test_latent_transition_draws_average_power(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield radio.transition_to("sleep")  # instant, 0.25 J
+            yield sim.timeout(2.0)
+            yield radio.transition_to("on")  # 0.5 s, 1 J
+
+        sim.process(driver(sim, radio))
+        sim.run(until=10.0)
+        # 0.25 J impulse + 2 s * 0.1 W + 1 J transition + 7.5 s * 1 W
+        assert radio.energy_j() == pytest.approx(0.25 + 0.2 + 1.0 + 7.5)
+
+    def test_transition_latency_blocks_communication(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        observations = []
+
+        def driver(sim, radio):
+            yield radio.transition_to("sleep")
+            transition = radio.transition_to("on")
+            yield sim.timeout(0.25)  # halfway through the 0.5 s wake
+            observations.append((radio.in_transition, radio.can_communicate))
+            yield transition
+            observations.append((radio.in_transition, radio.can_communicate))
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        assert observations == [(True, False), (False, True)]
+
+    def test_transition_to_same_state_is_free(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield radio.transition_to("on")
+
+        sim.process(driver(sim, radio))
+        sim.run(until=5.0)
+        assert radio.energy_j() == pytest.approx(5.0)
+        assert radio.transition_count == 0
+
+    def test_concurrent_transitions_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield radio.transition_to("sleep")
+            radio.transition_to("on")  # takes 0.5 s; do not wait
+            radio.transition_to("sleep")  # still mid-wake: must blow up
+            yield sim.timeout(1.0)
+
+        sim.process(driver(sim, radio))
+        with pytest.raises(RuntimeError, match="already transitioning"):
+            sim.run()
+
+    def test_time_in_state_excludes_transitions(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield sim.timeout(3.0)
+            yield radio.transition_to("sleep")  # instant
+            yield sim.timeout(2.0)
+            yield radio.transition_to("on")  # 0.5 s
+            yield sim.timeout(1.0)
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        assert radio.time_in_state("on") == pytest.approx(4.0)
+        assert radio.time_in_state("sleep") == pytest.approx(2.0)
+
+    def test_transition_count_and_energy(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            for _ in range(3):
+                yield radio.transition_to("sleep")
+                yield radio.transition_to("on")
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        assert radio.transition_count == 6
+        assert radio.transition_energy_j == pytest.approx(3 * (0.25 + 1.0))
+
+    def test_state_series_records_trajectory(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield sim.timeout(1.0)
+            yield radio.transition_to("sleep")
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        assert list(radio.state_series) == [(0.0, "on"), (1.0, "sleep")]
+
+    def test_energy_conservation_power_trace_vs_components(self):
+        """Integral of the power trace equals state energy + transition energy."""
+        sim = Simulator()
+        model = two_state_model()
+        radio = Radio(sim, model)
+
+        def driver(sim, radio):
+            yield sim.timeout(1.5)
+            yield radio.transition_to("sleep")
+            yield sim.timeout(4.0)
+            yield radio.transition_to("on")
+            yield sim.timeout(2.0)
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        state_energy = sum(
+            model.power(name) * radio.time_in_state(name)
+            for name in model.state_names()
+        )
+        total = state_energy + radio.transition_energy_j
+        assert radio.energy_j() == pytest.approx(total)

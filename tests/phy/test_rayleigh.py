@@ -1,0 +1,64 @@
+"""Tests for the Rayleigh block-fading model."""
+
+import random
+
+import pytest
+
+from repro.phy.channel import RayleighBlockFading, db_to_linear
+
+
+def test_gain_constant_within_block():
+    fading = RayleighBlockFading(coherence_time_s=0.1, rng=random.Random(1))
+    g1 = fading.gain_at(0.00)
+    g2 = fading.gain_at(0.09)
+    assert g1 == g2
+
+
+def test_gain_changes_across_blocks():
+    fading = RayleighBlockFading(coherence_time_s=0.1, rng=random.Random(1))
+    gains = {fading.gain_at(i * 0.1 + 0.05) for i in range(20)}
+    assert len(gains) > 10
+
+
+def test_mean_gain_is_unity():
+    fading = RayleighBlockFading(coherence_time_s=1.0, rng=random.Random(2))
+    samples = [fading.gain_at(float(i)) for i in range(20_000)]
+    assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.05)
+
+
+def test_configurable_mean_gain():
+    fading = RayleighBlockFading(
+        coherence_time_s=1.0, rng=random.Random(3), mean_gain=4.0
+    )
+    samples = [fading.gain_at(float(i)) for i in range(20_000)]
+    assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.05)
+
+
+def test_deep_fades_occur():
+    """Rayleigh's defining property: gains far below the mean happen at
+    the exponential-distribution rate (P[g < 0.1] = 1 - e^-0.1 ~ 9.5%)."""
+    fading = RayleighBlockFading(coherence_time_s=1.0, rng=random.Random(4))
+    samples = [fading.gain_at(float(i)) for i in range(20_000)]
+    deep = sum(1 for g in samples if g < 0.1) / len(samples)
+    assert deep == pytest.approx(0.095, abs=0.015)
+
+
+def test_cannot_rewind():
+    fading = RayleighBlockFading(coherence_time_s=0.1, rng=random.Random(5))
+    fading.gain_at(5.0)
+    with pytest.raises(ValueError):
+        fading.gain_at(1.0)
+
+
+def test_faded_snr_composes_with_budget():
+    fading = RayleighBlockFading(coherence_time_s=1.0, rng=random.Random(6))
+    gain = fading.gain_at(0.5)
+    snr = fading.faded_snr_db(20.0, 0.5)
+    assert db_to_linear(snr) == pytest.approx(db_to_linear(20.0) * gain, rel=1e-9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RayleighBlockFading(coherence_time_s=0.0)
+    with pytest.raises(ValueError):
+        RayleighBlockFading(mean_gain=0.0)

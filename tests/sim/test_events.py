@@ -1,0 +1,161 @@
+"""Tests for Event, AnyOf and AllOf."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_event_starts_pending():
+    sim = Simulator()
+    event = sim.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_value_unavailable_while_pending():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(AttributeError):
+        _ = event.value
+
+
+def test_succeed_sets_value_and_triggers():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("hello")
+    assert event.triggered
+    assert event.ok
+    assert event.value == "hello"
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_succeed_with_delay_fires_later():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim, event):
+        value = yield event
+        seen.append((sim.now, value))
+
+    event = sim.event()
+    sim.process(proc(sim, event))
+    event.succeed("late", delay=4.0)
+    sim.run()
+    assert seen == [(4.0, "late")]
+
+
+def test_waiting_on_failed_event_raises_in_process():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim, event):
+        try:
+            yield event
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    event = sim.event()
+    sim.process(proc(sim, event))
+    event.fail(RuntimeError("link down"))
+    sim.run()
+    assert seen == ["link down"]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(5.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        seen.append((sim.now, list(result.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(3.0, value="b")
+        result = yield sim.all_of([a, b])
+        seen.append((sim.now, sorted(result.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [(3.0, ["a", "b"])]
+
+
+def test_empty_condition_fires_immediately():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        result = yield sim.all_of([])
+        seen.append((sim.now, result))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [(0.0, {})]
+
+
+def test_condition_over_already_processed_event():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        done = sim.timeout(1.0, value="x")
+        yield sim.timeout(2.0)  # let `done` be processed first
+        result = yield sim.any_of([done, sim.timeout(10.0)])
+        seen.append((sim.now, list(result.values())))
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert seen == [(2.0, ["x"])]
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+    seen = []
+
+    def failer(sim, event):
+        yield sim.timeout(1.0)
+        event.fail(ValueError("bad"))
+
+    def waiter(sim, event):
+        try:
+            yield sim.all_of([event, sim.timeout(10.0)])
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    event = sim.event()
+    sim.process(failer(sim, event))
+    sim.process(waiter(sim, event))
+    sim.run()
+    assert seen == ["bad"]
+
+
+def test_condition_rejects_foreign_events():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim_a.any_of([sim_b.event()])

@@ -1,0 +1,161 @@
+"""Tests for Process semantics: interrupts, liveness, errors."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_process_is_alive_until_generator_returns():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(2.0)
+
+    proc = sim.process(body(sim))
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_process_name_defaults_to_generator_name():
+    sim = Simulator()
+
+    def my_station(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(my_station(sim))
+    assert proc.name == "my_station"
+    sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    seen = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            seen.append((sim.now, interrupt.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert seen == [(2.0, "wake up")]
+
+
+def test_interrupt_detaches_from_waited_event():
+    sim = Simulator()
+    resumed = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(5.0)
+            resumed.append("timeout")
+        except Interrupt:
+            yield sim.timeout(100.0)
+            resumed.append("after-interrupt")
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run(until=50.0)
+    # The original 5 s timeout fires at t=5 but must NOT resume the process.
+    assert resumed == []
+    sim.run()
+    assert resumed == ["after-interrupt"]
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(body(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_uncaught_interrupt_fails_process():
+    sim = Simulator()
+
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt("boom")
+
+    sim.process(sleeper(sim))
+    victim = sim.process(sleeper(sim), name="victim")
+    sim.process(interrupter(sim, victim))
+    with pytest.raises(Interrupt):
+        sim.run()
+
+
+def test_process_can_wait_on_another_process_result():
+    sim = Simulator()
+    results = []
+
+    def worker(sim):
+        yield sim.timeout(3.0)
+        return {"bytes": 1024}
+
+    def boss(sim):
+        outcome = yield sim.process(worker(sim))
+        results.append(outcome)
+
+    sim.process(boss(sim))
+    sim.run()
+    assert results == [{"bytes": 1024}]
+
+
+def test_immediate_return_process():
+    sim = Simulator()
+    results = []
+
+    def nop(sim):
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    def waiter(sim):
+        value = yield sim.process(nop(sim))
+        results.append((sim.now, value))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [(0.0, "done")]
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    trace = []
+
+    def ticker(sim, tag, period):
+        while sim.now < 4.0:
+            yield sim.timeout(period)
+            trace.append((sim.now, tag))
+
+    sim.process(ticker(sim, "fast", 1.0))
+    sim.process(ticker(sim, "slow", 2.0))
+    sim.run(until=4.5)
+    # At shared instants the event scheduled earliest fires first: the slow
+    # ticker armed its t=2 timeout at t=0, before the fast ticker re-armed
+    # at t=1, so "slow" precedes "fast" at t=2 and t=4.
+    assert trace == [
+        (1.0, "fast"),
+        (2.0, "slow"),
+        (2.0, "fast"),
+        (3.0, "fast"),
+        (4.0, "slow"),
+        (4.0, "fast"),
+    ]

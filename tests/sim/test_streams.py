@@ -1,0 +1,68 @@
+"""Tests for named deterministic random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_name_reproduces_sequence():
+    a = RandomStreams(seed=7).stream("traffic")
+    b = RandomStreams(seed=7).stream("traffic")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=7)
+    a = [streams.stream("traffic").random() for _ in range(5)]
+    b = [streams.stream("channel").random() for _ in range(5)]
+    assert a != b
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    reference_streams = RandomStreams(seed=3)
+    reference = [reference_streams.stream("b").random() for _ in range(5)]
+    streams = RandomStreams(seed=3)
+    for _ in range(100):
+        streams.stream("a").random()  # heavy use of an unrelated stream
+    observed = [streams.stream("b").random() for _ in range(5)]
+    assert observed == reference
+
+
+def test_stream_is_cached():
+    streams = RandomStreams()
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_exponential_mean_validation():
+    with pytest.raises(ValueError):
+        RandomStreams().exponential("t", mean=0.0)
+
+
+def test_exponential_mean_roughly_correct():
+    streams = RandomStreams(seed=42)
+    draws = [streams.exponential("t", mean=2.0) for _ in range(20000)]
+    assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.05)
+
+
+def test_bernoulli_probability_validation():
+    with pytest.raises(ValueError):
+        RandomStreams().bernoulli("coin", 1.5)
+
+
+def test_bernoulli_edge_probabilities():
+    streams = RandomStreams(seed=1)
+    assert not any(streams.bernoulli("never", 0.0) for _ in range(100))
+    assert all(streams.bernoulli("always", 1.0) for _ in range(100))
+
+
+def test_randint_bounds_inclusive():
+    streams = RandomStreams(seed=9)
+    draws = {streams.randint("cw", 0, 3) for _ in range(200)}
+    assert draws == {0, 1, 2, 3}
+
+
+def test_uniform_within_bounds():
+    streams = RandomStreams(seed=5)
+    for _ in range(100):
+        value = streams.uniform("u", 2.0, 4.0)
+        assert 2.0 <= value < 4.0

@@ -1,0 +1,197 @@
+"""Tests for split-connection and snoop mitigations."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.transport import (
+    NetworkPath,
+    SnoopAgent,
+    TcpReceiver,
+    TcpSender,
+    run_split_connection,
+)
+
+
+def run_plain(total_bytes, loss_rate, seed=1, until=600.0):
+    sim = Simulator()
+    rng = random.Random(seed)
+    loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+    reverse = NetworkPath(sim, 5e6, 0.05, deliver=lambda s: sender.on_ack(s))
+    receiver = TcpReceiver(sim, reverse)
+    forward = NetworkPath(
+        sim, 5e6, 0.05, deliver=receiver.deliver, loss_process=loss
+    )
+    sender = TcpSender(sim, forward, total_bytes)
+    done = sender.start()
+    results = []
+
+    def wait(sim):
+        stats = yield done
+        results.append((sim.now, stats))
+
+    sim.process(wait(sim))
+    sim.run(until=until)
+    return results[0] if results else (None, None)
+
+
+def run_snoop(total_bytes, loss_rate, seed=1, until=600.0, threshold=1):
+    sim = Simulator()
+    rng = random.Random(seed)
+    loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+    wired_reverse = NetworkPath(sim, 10e6, 0.04, deliver=lambda s: sender.on_ack(s))
+    wireless_reverse = NetworkPath(
+        sim, 5e6, 0.01, deliver=lambda s: snoop.backward_ack(s)
+    )
+    mobile = TcpReceiver(sim, wireless_reverse)
+    wireless_forward = NetworkPath(
+        sim, 5e6, 0.01, deliver=mobile.deliver, loss_process=loss
+    )
+    snoop = SnoopAgent(sim, wireless_forward, wired_reverse, dupack_threshold=threshold)
+    wired_forward = NetworkPath(sim, 10e6, 0.04, deliver=snoop.forward_data)
+    sender = TcpSender(sim, wired_forward, total_bytes)
+    done = sender.start()
+    results = []
+
+    def wait(sim):
+        stats = yield done
+        results.append((sim.now, stats))
+
+    sim.process(wait(sim))
+    sim.run(until=until)
+    return (results[0] if results else (None, None)), snoop
+
+
+class TestSnoop:
+    def test_clean_channel_is_transparent(self):
+        (finished, stats), snoop = run_snoop(200_000, loss_rate=0.0)
+        assert stats is not None
+        assert snoop.local_retransmissions == 0
+        assert stats.retransmissions == 0
+
+    def test_local_retransmissions_hide_loss_from_sender(self):
+        (finished, stats), snoop = run_snoop(500_000, loss_rate=0.05, seed=7)
+        assert stats is not None
+        assert snoop.local_retransmissions > 0
+        # The fixed sender saw (almost) no loss: few end-to-end rexmits.
+        assert stats.retransmissions <= snoop.local_retransmissions
+
+    def test_snoop_beats_plain_tcp_under_loss(self):
+        finished_plain, plain = run_plain(500_000, loss_rate=0.05, seed=5)
+        (finished_snoop, snooped), _agent = run_snoop(
+            500_000, loss_rate=0.05, seed=5
+        )
+        assert snooped.goodput_bps() > plain.goodput_bps()
+
+    def test_cache_purged_on_new_ack(self):
+        (finished, stats), snoop = run_snoop(100_000, loss_rate=0.0)
+        assert len(snoop._cache) == 0  # everything acked and purged
+
+    def test_threshold_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SnoopAgent(sim, None, None, dupack_threshold=0)
+
+
+class TestSplitConnection:
+    def test_completes_and_beats_plain_tcp(self):
+        loss_rate = 0.05
+        finished_plain, plain = run_plain(500_000, loss_rate, seed=5)
+        sim = Simulator()
+        rng = random.Random(5)
+        loss = lambda seg, now: seg.is_ack or rng.random() >= loss_rate
+        _wired, wireless, done = run_split_connection(
+            sim, 500_000, 10e6, 0.05, 5e6, 0.01, loss
+        )
+        results = []
+
+        def wait(sim):
+            stats = yield done
+            results.append((sim.now, stats))
+
+        sim.process(wait(sim))
+        sim.run(until=600.0)
+        assert results
+        finish_time, stats = results[0]
+        split_goodput = 500_000 * 8 / finish_time
+        assert split_goodput > plain.goodput_bps()
+
+    def test_wireless_leg_recovers_locally(self):
+        sim = Simulator()
+        rng = random.Random(3)
+        loss = lambda seg, now: seg.is_ack or rng.random() >= 0.05
+        wired, wireless, done = run_split_connection(
+            sim, 300_000, 10e6, 0.05, 5e6, 0.01, loss
+        )
+        sim.run(until=600.0)
+        # The wired leg never saw the wireless loss.
+        assert wired.stats.retransmissions == 0
+        assert wireless.stats.retransmissions > 0
+
+
+class TestBurstyLoss:
+    """Correlated (Gilbert-Elliott) wireless loss, not just Bernoulli."""
+
+    def run_with_ge_loss(self, mitigated, seed=4):
+        import random as random_module
+
+        from repro.phy import GilbertElliottChannel
+
+        sim = Simulator()
+        channel = GilbertElliottChannel(
+            p_good_to_bad=0.02, p_bad_to_good=0.2,
+            ber_good=0.0, ber_bad=3e-4,
+            slot_s=0.005, rng=random_module.Random(seed),
+        )
+
+        def loss(segment, now):
+            if segment.is_ack:
+                return True
+            channel.advance_to(now)
+            bits = (segment.length_bytes + 40) * 8
+            return channel.packet_survives(bits)
+
+        if not mitigated:
+            reverse = NetworkPath(sim, 5e6, 0.05, deliver=lambda s: sender.on_ack(s))
+            receiver = TcpReceiver(sim, reverse)
+            forward = NetworkPath(
+                sim, 5e6, 0.05, deliver=receiver.deliver, loss_process=loss
+            )
+            sender = TcpSender(sim, forward, 400_000)
+            done = sender.start()
+        else:
+            wired_reverse = NetworkPath(
+                sim, 10e6, 0.04, deliver=lambda s: sender.on_ack(s)
+            )
+            wireless_reverse = NetworkPath(
+                sim, 5e6, 0.01, deliver=lambda s: snoop.backward_ack(s)
+            )
+            mobile = TcpReceiver(sim, wireless_reverse)
+            wireless_forward = NetworkPath(
+                sim, 5e6, 0.01, deliver=mobile.deliver, loss_process=loss
+            )
+            snoop = SnoopAgent(sim, wireless_forward, wired_reverse)
+            wired_forward = NetworkPath(sim, 10e6, 0.04, deliver=snoop.forward_data)
+            sender = TcpSender(sim, wired_forward, 400_000)
+            done = sender.start()
+        out = []
+
+        def wait(sim):
+            stats = yield done
+            out.append(stats)
+
+        sim.process(wait(sim))
+        sim.run(until=1200.0)
+        return out[0] if out else None
+
+    def test_plain_tcp_completes_under_bursty_loss(self):
+        stats = self.run_with_ge_loss(mitigated=False)
+        assert stats is not None
+        assert stats.bytes_acked == 400_000
+
+    def test_snoop_helps_under_bursty_loss_too(self):
+        plain = self.run_with_ge_loss(mitigated=False)
+        snooped = self.run_with_ge_loss(mitigated=True)
+        assert snooped is not None
+        assert snooped.goodput_bps() > plain.goodput_bps()

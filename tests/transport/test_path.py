@@ -1,0 +1,82 @@
+"""Tests for the one-way network path."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.transport import NetworkPath, Segment
+
+
+def make_path(**kwargs):
+    sim = Simulator()
+    delivered = []
+    defaults = dict(bandwidth_bps=1e6, delay_s=0.01, deliver=delivered.append)
+    defaults.update(kwargs)
+    path = NetworkPath(sim, **defaults)
+    return sim, path, delivered
+
+
+def test_delivery_after_serialisation_plus_delay():
+    sim, path, delivered = make_path()
+    segment = Segment("a", "b", seq=0, length_bytes=1000)
+    path.send(segment)
+    sim.run(until=1.0)
+    assert delivered == [segment]
+    wire = (1000 + 40) * 8 / 1e6
+    # Segment lands at serialisation + propagation.
+    assert path.segments_delivered == 1
+
+
+def test_fifo_serialisation():
+    sim, path, delivered = make_path(delay_s=0.0)
+    for i in range(3):
+        path.send(Segment("a", "b", seq=i, length_bytes=500))
+    sim.run(until=1.0)
+    assert [s.seq for s in delivered] == [0, 1, 2]
+
+
+def test_loss_process_drops():
+    sim, path, delivered = make_path(
+        loss_process=lambda segment, now: segment.seq != 1
+    )
+    for i in range(3):
+        path.send(Segment("a", "b", seq=i, length_bytes=100))
+    sim.run(until=1.0)
+    assert [s.seq for s in delivered] == [0, 2]
+    assert path.segments_dropped == 1
+
+
+def test_queue_depth_visible():
+    sim, path, delivered = make_path()
+    for i in range(5):
+        path.send(Segment("a", "b", seq=i, length_bytes=10_000))
+    assert path.queue_depth >= 4  # one may already be in service
+    sim.run(until=10.0)
+    assert path.queue_depth == 0
+
+
+def test_bytes_delivered_counts_payload():
+    sim, path, delivered = make_path()
+    path.send(Segment("a", "b", length_bytes=1234))
+    sim.run(until=1.0)
+    assert path.bytes_delivered == 1234
+
+
+def test_propagation_is_pipelined():
+    """Long propagation must not serialise deliveries."""
+    sim, path, delivered = make_path(delay_s=0.5)
+    stamps = []
+    path.deliver = lambda s: stamps.append(sim.now)
+    path.send(Segment("a", "b", length_bytes=100))
+    path.send(Segment("a", "b", length_bytes=100))
+    sim.run(until=5.0)
+    wire = (100 + 40) * 8 / 1e6
+    assert stamps[0] == pytest.approx(wire + 0.5)
+    assert stamps[1] == pytest.approx(2 * wire + 0.5)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NetworkPath(sim, bandwidth_bps=0.0, delay_s=0.0, deliver=lambda s: None)
+    with pytest.raises(ValueError):
+        NetworkPath(sim, bandwidth_bps=1e6, delay_s=-1.0, deliver=lambda s: None)

@@ -1,0 +1,125 @@
+"""Tests for the compact TCP Reno."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.transport import NetworkPath, TcpReceiver, TcpSender
+
+
+def run_tcp(
+    total_bytes=500_000,
+    loss_rate=0.0,
+    seed=1,
+    bandwidth_bps=5e6,
+    delay_s=0.02,
+    until=300.0,
+):
+    sim = Simulator()
+    rng = random.Random(seed)
+    loss = (
+        None
+        if loss_rate == 0.0
+        else (lambda seg, now: seg.is_ack or rng.random() >= loss_rate)
+    )
+    reverse = NetworkPath(
+        sim, bandwidth_bps, delay_s, deliver=lambda s: sender.on_ack(s)
+    )
+    receiver = TcpReceiver(sim, reverse)
+    forward = NetworkPath(
+        sim, bandwidth_bps, delay_s, deliver=receiver.deliver, loss_process=loss
+    )
+    sender = TcpSender(sim, forward, total_bytes)
+    done = sender.start()
+    results = []
+
+    def wait(sim):
+        stats = yield done
+        results.append(stats)
+
+    sim.process(wait(sim))
+    sim.run(until=until)
+    return sender, receiver, (results[0] if results else None)
+
+
+def test_clean_transfer_completes():
+    sender, receiver, stats = run_tcp(loss_rate=0.0)
+    assert stats is not None
+    assert stats.bytes_acked == 500_000
+    assert receiver.bytes_received == 500_000
+    assert stats.retransmissions == 0
+    assert stats.timeouts == 0
+
+
+def test_clean_goodput_near_bottleneck():
+    sender, receiver, stats = run_tcp(
+        total_bytes=2_000_000, bandwidth_bps=5e6, delay_s=0.01
+    )
+    assert stats.goodput_bps() > 0.5 * 5e6
+
+
+def test_slow_start_grows_cwnd():
+    sender, receiver, stats = run_tcp(total_bytes=200_000)
+    assert sender.cwnd > 2.0  # grew beyond the initial window
+
+
+def test_loss_triggers_fast_retransmit_and_completes():
+    sender, receiver, stats = run_tcp(loss_rate=0.02, seed=3)
+    assert stats is not None
+    assert receiver.bytes_received == 500_000
+    assert stats.fast_retransmits + stats.timeouts > 0
+
+
+def test_wireless_loss_collapses_goodput():
+    """The survey's transport-layer premise."""
+    _s, _r, clean = run_tcp(total_bytes=1_000_000, loss_rate=0.0)
+    _s, _r, lossy = run_tcp(total_bytes=1_000_000, loss_rate=0.05, seed=9)
+    assert lossy is not None
+    assert lossy.goodput_bps() < 0.4 * clean.goodput_bps()
+
+
+def test_rtt_estimation_converges():
+    sender, receiver, stats = run_tcp(delay_s=0.05)
+    # SRTT should land near 2 * one-way delay (plus serialisation).
+    assert stats.rtt_samples > 0
+    assert 0.08 < stats.srtt_s < 0.3
+
+
+def test_receiver_reassembles_out_of_order():
+    sim = Simulator()
+    acks = []
+    reverse = NetworkPath(sim, 1e6, 0.0, deliver=acks.append)
+    receiver = TcpReceiver(sim, reverse)
+    from repro.transport import Segment
+
+    receiver.deliver(Segment("s", "c", seq=1460, length_bytes=1460))
+    assert receiver.expected == 0  # hole at 0
+    receiver.deliver(Segment("s", "c", seq=0, length_bytes=1460))
+    assert receiver.expected == 2920
+    sim.run(until=1.0)
+    assert [a.ack for a in acks] == [0, 2920]
+
+
+def test_duplicate_segments_counted():
+    sim = Simulator()
+    reverse = NetworkPath(sim, 1e6, 0.0, deliver=lambda s: None)
+    receiver = TcpReceiver(sim, reverse)
+    from repro.transport import Segment
+
+    receiver.deliver(Segment("s", "c", seq=0, length_bytes=1000))
+    receiver.deliver(Segment("s", "c", seq=0, length_bytes=1000))
+    assert receiver.duplicate_segments == 1
+
+
+def test_validation():
+    sim = Simulator()
+    path = NetworkPath(sim, 1e6, 0.0, deliver=lambda s: None)
+    with pytest.raises(ValueError):
+        TcpSender(sim, path, total_bytes=0)
+    with pytest.raises(ValueError):
+        TcpSender(sim, path, total_bytes=100, mss=0)
+    sender = TcpSender(sim, path, total_bytes=100)
+    sender.start()
+    with pytest.raises(RuntimeError):
+        sender.start()

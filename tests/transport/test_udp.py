@@ -1,0 +1,93 @@
+"""Tests for UDP flows."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.transport import NetworkPath, UdpFlow, UdpSink
+
+
+def make_flow(rate_bps=128_000.0, loss=None, datagram_bytes=1000):
+    sim = Simulator()
+    sink = UdpSink()
+    path = NetworkPath(
+        sim, bandwidth_bps=5e6, delay_s=0.005, deliver=sink.deliver,
+        loss_process=loss,
+    )
+    flow = UdpFlow(sim, path, datagram_bytes=datagram_bytes, rate_bps=rate_bps)
+    return sim, flow, sink
+
+
+def test_cbr_rate_achieved():
+    sim, flow, sink = make_flow(rate_bps=128_000.0)
+
+    def run(sim):
+        yield flow.start(duration_s=10.0)
+
+    sim.process(run(sim))
+    sim.run(until=11.0)
+    assert sink.goodput_bps(10.0) == pytest.approx(128_000.0, rel=0.05)
+
+
+def test_no_feedback_loss_is_silent():
+    sim, flow, sink = make_flow(loss=lambda segment, now: segment.seq % 2000 != 0)
+
+    def run(sim):
+        yield flow.start(duration_s=5.0)
+
+    sim.process(run(sim))
+    sim.run(until=6.0)
+    assert flow.datagrams_sent > sink.datagrams
+
+
+def test_burst_emits_back_to_back():
+    sim, flow, sink = make_flow()
+    count = flow.send_burst(10_000)
+    assert count == 10
+    sim.run(until=1.0)
+    assert sink.bytes == 10_000
+
+
+def test_burst_partial_last_datagram():
+    sim, flow, sink = make_flow(datagram_bytes=1000)
+    count = flow.send_burst(2500)
+    assert count == 3
+    sim.run(until=1.0)
+    assert sink.bytes == 2500
+
+
+def test_shaped_rate_callable():
+    sim, flow, sink = make_flow(
+        rate_bps=lambda now: 256_000.0 if now < 5.0 else 0.0
+    )
+
+    def run(sim):
+        yield flow.start(duration_s=10.0)
+
+    sim.process(run(sim))
+    sim.run(until=11.0)
+    # All traffic lands in the first half.
+    assert sink.bytes == pytest.approx(256_000.0 / 8 * 5, rel=0.1)
+
+
+def test_out_of_order_detection():
+    sink = UdpSink()
+    from repro.transport import Segment
+
+    sink.deliver(Segment("a", "b", seq=100, length_bytes=10))
+    sink.deliver(Segment("a", "b", seq=50, length_bytes=10))
+    assert sink.out_of_order == 1
+
+
+def test_double_start_rejected():
+    sim, flow, sink = make_flow()
+    flow.start(duration_s=1.0)
+    with pytest.raises(RuntimeError):
+        flow.start(duration_s=1.0)
+
+
+def test_validation():
+    sim, flow, sink = make_flow()
+    with pytest.raises(ValueError):
+        flow.send_burst(-1)
+    with pytest.raises(ValueError):
+        UdpFlow(sim, None, datagram_bytes=0)
