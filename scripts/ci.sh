@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the unit/property/integration suite plus a trace smoke
+# check that the observability pipeline produces valid JSONL.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest tests/ -q
+
+echo "== trace smoke check =="
+trace_file="$(mktemp /tmp/repro-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+python -m repro fig2 --duration 10 --trace "$trace_file" > /dev/null
+
+python - "$trace_file" <<'EOF'
+import json
+import sys
+
+required = ("time_s", "layer", "entity", "kind")
+count = 0
+layers = set()
+with open(sys.argv[1], encoding="utf-8") as stream:
+    for number, line in enumerate(stream, start=1):
+        record = json.loads(line)
+        for key in required:
+            if key not in record:
+                sys.exit(f"line {number}: missing {key!r}: {record}")
+        layers.add(record["layer"])
+        count += 1
+if count == 0:
+    sys.exit("trace smoke check produced an empty trace")
+print(f"trace ok: {count} events across layers {sorted(layers)}")
+EOF
+
+echo "ci.sh: all checks passed"

@@ -6,7 +6,14 @@ Usage::
     python -m repro fig2                 # average power comparison
     python -m repro sweep-schedulers     # ablation A-sched
     python -m repro sweep-bursts         # ablation A-burst
+    python -m repro trace                # run a scenario, summarise its trace
     python -m repro --help
+
+Every subcommand accepts the observability flags ``--trace FILE``
+(JSONL event stream), ``--chrome-trace FILE`` (Perfetto-loadable),
+``--profile`` (kernel wall-clock profile) and ``--metrics`` (registry
+summary table).  Without any of them the run is bit-identical to an
+un-instrumented one.
 """
 
 from __future__ import annotations
@@ -19,34 +26,69 @@ from repro.core import run_hotspot_scenario, run_unscheduled_scenario
 from repro.core.scheduling import scheduler_names
 from repro.metrics import format_table, render_schedule_timeline
 from repro.metrics.energy import wnic_power_saving_fraction
+from repro.obs import ObsSession, radio_dwell_table, top_kinds_table
+
+
+def _finish_obs(obs: ObsSession | None) -> None:
+    """Flush files and print any requested obs reports."""
+    if obs is None:
+        return
+    obs.close()
+    if obs.profiler is not None:
+        print()
+        print(obs.profiler.report())
+    if obs.registry is not None and obs.registry_requested:
+        print()
+        print(obs.registry.report())
 
 
 def cmd_fig1(args: argparse.Namespace) -> int:
+    obs = ObsSession.from_args(args)
+    if obs is not None:
+        obs.begin_run("fig1/hotspot")
     result = run_hotspot_scenario(
         n_clients=args.clients,
         duration_s=args.duration,
         bluetooth_quality_script=[(0.0, 1.0), (args.duration * 2 / 3, 0.2)],
         seed=args.seed,
+        obs=obs,
     )
+    if obs is not None:
+        obs.record(result)
     print(render_schedule_timeline(result.radios, 0.0, args.duration, columns=96))
     print(f"\nQoS maintained: {result.qos_maintained()}")
+    _finish_obs(obs)
     return 0
 
 
 def cmd_fig2(args: argparse.Namespace) -> int:
+    obs = ObsSession.from_args(args)
+    if obs is not None:
+        obs.begin_run("fig2/unscheduled-wlan")
     wlan = run_unscheduled_scenario(
-        "wlan", n_clients=args.clients, duration_s=args.duration, seed=args.seed
+        "wlan", n_clients=args.clients, duration_s=args.duration, seed=args.seed,
+        obs=obs,
     )
+    if obs is not None:
+        obs.record(wlan)
+        obs.begin_run("fig2/unscheduled-bluetooth")
     bt = run_unscheduled_scenario(
-        "bluetooth", n_clients=args.clients, duration_s=args.duration, seed=args.seed
+        "bluetooth", n_clients=args.clients, duration_s=args.duration,
+        seed=args.seed, obs=obs,
     )
+    if obs is not None:
+        obs.record(bt)
+        obs.begin_run("fig2/hotspot")
     hotspot = run_hotspot_scenario(
         n_clients=args.clients,
         duration_s=args.duration,
         scheduler=args.scheduler,
         bluetooth_quality_script=[(0.0, 1.0), (args.duration * 3 / 4, 0.2)],
         seed=args.seed,
+        obs=obs,
     )
+    if obs is not None:
+        obs.record(hotspot)
     saving = wnic_power_saving_fraction(
         wlan.mean_wnic_power_w(), hotspot.mean_wnic_power_w()
     )
@@ -67,6 +109,7 @@ def cmd_fig2(args: argparse.Namespace) -> int:
             "wnic_saving_fraction": saving,
         }
         print(json.dumps(payload, indent=2))
+        _finish_obs(obs)
         return 0
     rows = [
         [r.label, r.mean_wnic_power_w(), r.mean_total_power_w(), r.qos_maintained()]
@@ -80,32 +123,59 @@ def cmd_fig2(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nWNIC saving vs unscheduled WLAN: {saving * 100:.1f}%  [paper: 97%]")
+    _finish_obs(obs)
     return 0
 
 
 def cmd_sweep_schedulers(args: argparse.Namespace) -> int:
+    obs = ObsSession.from_args(args)
     rows = []
     for name in scheduler_names():
+        if obs is not None:
+            obs.begin_run(f"sweep-schedulers/{name}")
         result = run_hotspot_scenario(
             n_clients=args.clients,
             duration_s=args.duration,
             scheduler=name,
             seed=args.seed,
+            obs=obs,
         )
+        if obs is not None:
+            obs.record(result)
         rows.append(
             [name, result.mean_wnic_power_w(), result.qos_maintained()]
         )
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "scheduler": name,
+                        "wnic_power_w": power,
+                        "qos_maintained": qos,
+                    }
+                    for name, power, qos in rows
+                ],
+                indent=2,
+            )
+        )
+        _finish_obs(obs)
+        return 0
     print(
         format_table(
             ["scheduler", "WNIC power (W)", "QoS"], rows, title="Scheduler sweep"
         )
     )
+    _finish_obs(obs)
     return 0
 
 
 def cmd_sweep_bursts(args: argparse.Namespace) -> int:
+    obs = ObsSession.from_args(args)
     rows = []
     for burst in (10_000, 20_000, 40_000, 80_000, 160_000):
+        if obs is not None:
+            obs.begin_run(f"sweep-bursts/{burst}")
         result = run_hotspot_scenario(
             n_clients=args.clients,
             duration_s=args.duration,
@@ -114,8 +184,27 @@ def cmd_sweep_bursts(args: argparse.Namespace) -> int:
             interfaces=("wlan",),
             server_prefetch_s=60.0,
             seed=args.seed,
+            obs=obs,
         )
+        if obs is not None:
+            obs.record(result)
         rows.append([burst, result.mean_wnic_power_w(), result.qos_maintained()])
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "burst_bytes": burst,
+                        "wnic_power_w": power,
+                        "qos_maintained": qos,
+                    }
+                    for burst, power, qos in rows
+                ],
+                indent=2,
+            )
+        )
+        _finish_obs(obs)
+        return 0
     print(
         format_table(
             ["min burst (B)", "WNIC power (W)", "QoS"],
@@ -123,6 +212,35 @@ def cmd_sweep_bursts(args: argparse.Namespace) -> int:
             title="Burst-size sweep (WLAN-only)",
         )
     )
+    _finish_obs(obs)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the hotspot scenario fully traced and summarise the stream."""
+    # The trace subcommand always collects metrics (they feed the top-N
+    # table); the registry report itself still hinges on --metrics.
+    obs = ObsSession(
+        trace_path=args.trace,
+        chrome_trace_path=args.chrome_trace,
+        profile=args.profile,
+        collect_metrics=True,
+    )
+    obs.registry_requested = args.metrics
+    obs.begin_run("trace/hotspot")
+    result = run_hotspot_scenario(
+        n_clients=args.clients,
+        duration_s=args.duration,
+        scheduler=args.scheduler,
+        bluetooth_quality_script=[(0.0, 1.0), (args.duration * 3 / 4, 0.2)],
+        seed=args.seed,
+        obs=obs,
+    )
+    obs.record(result)
+    print(top_kinds_table(obs.registry, top_n=args.top))
+    print()
+    print(radio_dwell_table(result.radios))
+    _finish_obs(obs)
     return 0
 
 
@@ -140,9 +258,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="burst scheduler for the Hotspot",
     )
     shared.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream every trace event to FILE as JSON lines",
+    )
+    shared.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (Perfetto-loadable) to FILE",
+    )
+    shared.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation kernel (per-event-kind wall-clock)",
+    )
+    shared.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry summary table after the run",
+    )
+    json_flag = argparse.ArgumentParser(add_help=False)
+    json_flag.add_argument(
         "--json",
         action="store_true",
-        help="emit machine-readable JSON instead of tables (fig2 only)",
+        help="emit machine-readable JSON instead of tables",
     )
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,10 +292,27 @@ def build_parser() -> argparse.ArgumentParser:
         "fig1", parents=[shared], help="render the sample schedule (paper Figure 1)"
     )
     sub.add_parser(
-        "fig2", parents=[shared], help="average power comparison (paper Figure 2)"
+        "fig2",
+        parents=[shared, json_flag],
+        help="average power comparison (paper Figure 2)",
     )
-    sub.add_parser("sweep-schedulers", parents=[shared], help="scheduler ablation")
-    sub.add_parser("sweep-bursts", parents=[shared], help="burst-size ablation")
+    sub.add_parser(
+        "sweep-schedulers",
+        parents=[shared, json_flag],
+        help="scheduler ablation",
+    )
+    sub.add_parser(
+        "sweep-bursts", parents=[shared, json_flag], help="burst-size ablation"
+    )
+    trace_parser = sub.add_parser(
+        "trace",
+        parents=[shared],
+        help="run the hotspot scenario traced; print top event kinds "
+        "and per-radio dwell breakdown",
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=12, help="number of event kinds to list"
+    )
     return parser
 
 
@@ -165,6 +321,7 @@ _COMMANDS = {
     "fig2": cmd_fig2,
     "sweep-schedulers": cmd_sweep_schedulers,
     "sweep-bursts": cmd_sweep_bursts,
+    "trace": cmd_trace,
 }
 
 

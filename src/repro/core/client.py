@@ -148,6 +148,7 @@ class HotspotClient:
 
     def _burst_body(self, interface_name: str, nbytes: int):
         interface = self.interfaces[interface_name]
+        started = self.sim.now
         yield interface.wake()
         yield interface.transfer(nbytes)
         # Advance the playout model to the end of the transfer, then fill.
@@ -155,6 +156,17 @@ class HotspotClient:
         self.bursts_received += 1
         self.bytes_received += nbytes
         self.burst_log.append((self.sim.now, interface_name, nbytes))
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "core",
+                self.name,
+                "burst",
+                interface=interface_name,
+                nbytes=nbytes,
+                duration_s=self.sim.now - started,
+                buffered_s=self.playout.playback_time_buffered_s(),
+            )
         yield interface.sleep()
         return nbytes
 

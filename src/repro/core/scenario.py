@@ -113,6 +113,7 @@ def run_hotspot_scenario(
     platform: Optional[DeviceProfile] = None,
     interface_policy: Optional[InterfaceSelectionPolicy] = None,
     server_prefetch_s: float = 30.0,
+    obs=None,
 ) -> ScenarioResult:
     """The paper's system: Hotspot-scheduled bursts, interface switching.
 
@@ -124,12 +125,19 @@ def run_hotspot_scenario(
     has already fetched the stream from the (fast, wired) infrastructure
     when playback starts — what lets it burst "10s of Kbytes at a time"
     instead of trickling at the encoding rate.
+
+    ``obs`` is an optional observability hook (anything with an
+    ``attach(sim)`` method, e.g. :class:`repro.obs.ObsSession`): it is
+    attached to the freshly built simulator before any process starts, so
+    the trace covers the whole run.
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
     if duration_s <= 0:
         raise ValueError("duration must be positive")
     sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
     streams = RandomStreams(seed=seed)
     platform = platform or ipaq_3970()
     server = HotspotServer(
@@ -204,6 +212,7 @@ def run_unscheduled_scenario(
     bitrate_bps: float = 128_000.0,
     seed: int = 0,
     platform: Optional[DeviceProfile] = None,
+    obs=None,
 ) -> ScenarioResult:
     """Figure-2 baseline: streaming with no power management at all.
 
@@ -215,6 +224,8 @@ def run_unscheduled_scenario(
     if interface not in ("wlan", "bluetooth"):
         raise ValueError("interface must be 'wlan' or 'bluetooth'")
     sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
     platform = platform or ipaq_3970()
     clients: List[HotspotClient] = []
     radios: Dict[str, Radio] = {}
@@ -278,6 +289,7 @@ def run_psm_baseline_scenario(
     bitrate_bps: float = 128_000.0,
     seed: int = 0,
     platform: Optional[DeviceProfile] = None,
+    obs=None,
 ) -> ScenarioResult:
     """Standard 802.11 PSM on the full packet-level MAC.
 
@@ -285,6 +297,8 @@ def run_psm_baseline_scenario(
     frames with the beacon/TIM/PS-Poll machinery of :mod:`repro.mac.psm`.
     """
     sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
     streams = RandomStreams(seed=seed)
     platform = platform or ipaq_3970()
     medium = Medium(sim)

@@ -231,6 +231,16 @@ class HotspotServer:
             requests = self._build_requests()
             if not requests:
                 continue
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "core",
+                    "server",
+                    "round",
+                    number=self.rounds,
+                    requests=len(requests),
+                    scheduler=self.scheduler.name,
+                )
             ordered = self.scheduler.order(requests, self.sim.now)
             # Partition by channel: different interfaces transfer in
             # parallel, bursts on one channel go back-to-back in order.
@@ -291,6 +301,15 @@ class HotspotServer:
     def _update_interface(self, session: ClientSession, now: float) -> None:
         chosen = self.interface_policy.select(session.client, now)
         if chosen != session.interface:
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "core",
+                    session.client.name,
+                    "switchover",
+                    previous=session.interface,
+                    interface=chosen,
+                )
             if session.interface is not None:
                 session.switchovers += 1
             session.interface = chosen
@@ -304,6 +323,22 @@ class HotspotServer:
             nbytes = min(request.nbytes, session.backlog_bytes, space)
             if nbytes <= 0:
                 continue
+            bus = self.sim.trace
+            if bus.enabled:
+                # Pre-playback deadlines are infinite; emit None so the
+                # JSONL trace stays strictly valid JSON.
+                finite = request.deadline_s != float("inf")
+                bus.emit(
+                    "core",
+                    request.client,
+                    "grant",
+                    interface=session.interface,
+                    nbytes=nbytes,
+                    deadline_s=request.deadline_s if finite else None,
+                    slack_s=(
+                        request.deadline_s - self.sim.now if finite else None
+                    ),
+                )
             yield session.client.execute_burst(session.interface, nbytes)
             session.backlog_bytes -= nbytes
             session.bursts_served += 1

@@ -129,6 +129,16 @@ class BitPipe:
                 stats.ack_losses += 1
             else:
                 stats.data_losses += 1
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "link",
+                "bitpipe",
+                "frame",
+                ack=is_ack,
+                bits=payload_bits,
+                lost=not survives,
+            )
         return survives
 
 
@@ -168,6 +178,16 @@ class _ArqBase:
     def _deliver(self, sequence: int) -> None:
         self.delivered.append(sequence)
         self.stats.delivered_payload_bits += self.frame_bits
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "link",
+                type(self).__name__,
+                "deliver",
+                seq=sequence,
+                retransmissions=self.stats.data_transmissions
+                - len(self.delivered),
+            )
 
     def transfer(self, n_frames: int) -> Event:
         """Run the protocol for ``n_frames``; the event fires with stats.

@@ -152,6 +152,15 @@ class BluetoothLink:
             if self.radio.state == "park" and not self.radio.in_transition:
                 delta = max(listen_power - self.radio.model.power("park"), 0.0)
                 self.radio.add_energy_impulse(delta * self.park_listen_s)
+                bus = self.sim.trace
+                if bus.enabled:
+                    bus.emit(
+                        "mac",
+                        self.radio.name,
+                        "park-beacon",
+                        listen_s=self.park_listen_s,
+                        energy_j=delta * self.park_listen_s,
+                    )
 
     def _sniff_attempt_loop(self):
         """Charge the periodic receive attempts of a sniffing slave.

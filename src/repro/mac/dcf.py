@@ -329,9 +329,27 @@ class DcfStation:
                 controller.on_failure()
             attempt += 1
             self.retransmissions += 1
+            bus = self.sim.trace
             if attempt > timing.retry_limit:
                 self.retransmissions -= 1  # the final attempt was a drop
+                if bus.enabled:
+                    bus.emit(
+                        "mac",
+                        self.address,
+                        "drop",
+                        destination=frame.destination,
+                        attempts=attempt,
+                    )
                 return False
+            if bus.enabled:
+                bus.emit(
+                    "mac",
+                    self.address,
+                    "retry",
+                    destination=frame.destination,
+                    attempt=attempt,
+                    cw=contention_window,
+                )
             contention_window = min(2 * contention_window + 1, timing.cw_max)
 
     def _rts_exchange(self, data_frame: Frame):
@@ -373,6 +391,15 @@ class DcfStation:
         """
         timing = self.timing
         backoff_slots = self.rng.randint(0, contention_window)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "mac",
+                self.address,
+                "backoff",
+                slots=backoff_slots,
+                cw=contention_window,
+            )
         while True:
             if not self.medium.is_idle_for(self.address):
                 yield self.medium.wait_idle(self.address)

@@ -152,6 +152,16 @@ class Medium:
         for other in self._active:
             other.collided = True
             transmission.collided = True
+        if transmission.collided:
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "mac",
+                    "medium",
+                    "collision",
+                    source=frame.source,
+                    overlapping=len(self._active) + 1,
+                )
         was_idle = not self._active
         self._active.append(transmission)
         if was_idle:

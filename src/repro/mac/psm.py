@@ -163,6 +163,15 @@ class AccessPoint(DcfStation):
                 payload=tim,
             )
             self.beacons_sent += 1
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "mac",
+                    self.address,
+                    "beacon",
+                    number=beacon_number,
+                    tim_size=len(tim),
+                )
             yield self.enqueue_frame(beacon)
 
     # -- PS-Poll service ---------------------------------------------------------
@@ -170,6 +179,15 @@ class AccessPoint(DcfStation):
     def _handle_control(self, frame: Frame) -> None:
         if frame.kind is FrameKind.PS_POLL and frame.destination == self.address:
             self.ps_polls_served += 1
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "mac",
+                    self.address,
+                    "ps-poll-serve",
+                    station=frame.source,
+                    buffered=self.buffered_count(frame.source),
+                )
             self._serve_poll(frame.source)
 
     def _serve_poll(self, station_address: str) -> None:
@@ -298,6 +316,15 @@ class PsmStation(DcfStation):
             yield self.radio.transition_to("idle")
             tim = yield from self._await_beacon()
             if tim is not None and self.address in tim:
+                bus = self.sim.trace
+                if bus.enabled:
+                    bus.emit(
+                        "mac",
+                        self.address,
+                        "tim-wake",
+                        cycle=self.doze_cycles,
+                        tim_size=len(tim),
+                    )
                 yield from self._drain_ap_buffer()
             # Uplink frames queued while dozing go out in this window, and
             # in-flight ACKs/retries must finish before the radio sleeps.
@@ -326,6 +353,11 @@ class PsmStation(DcfStation):
                 destination=self.ap.address,
             )
             self.polls_sent += 1
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "mac", self.address, "ps-poll", retries=retries
+                )
             yield self.enqueue_frame(poll)
             self._data_event = Event(self.sim)
             data = self._data_event

@@ -30,6 +30,26 @@ class EnergyBreakdown:
     @classmethod
     def of(cls, radio: Radio, now: Optional[float] = None) -> "EnergyBreakdown":
         now = radio.sim.now if now is None else now
+        time_in_state = {
+            state: radio.time_in_state(state)
+            for state in radio.model.state_names()
+        }
+        bus = radio.sim.trace
+        if bus.enabled:
+            # Per-state energy attribution: dwell × state power, with the
+            # transition overhead reported on the side.
+            bus.emit(
+                "metrics",
+                radio.name,
+                "energy",
+                total_j=radio.energy_j(now),
+                transition_j=radio.transition_energy_j,
+                by_state_j={
+                    state: dwell * radio.model.power(state)
+                    for state, dwell in time_in_state.items()
+                    if dwell > 0
+                },
+            )
         return cls(
             name=radio.name,
             elapsed_s=now,
@@ -37,10 +57,7 @@ class EnergyBreakdown:
             average_power_w=radio.average_power_w(now),
             transition_count=radio.transition_count,
             transition_energy_j=radio.transition_energy_j,
-            time_in_state_s={
-                state: radio.time_in_state(state)
-                for state in radio.model.state_names()
-            },
+            time_in_state_s=time_in_state,
         )
 
     def duty_cycle(self, active_states: tuple[str, ...] = ("tx", "rx", "idle", "active")) -> float:

@@ -87,16 +87,17 @@ def render_schedule_timeline(
                 power_row.append(_LEVEL_GLYPHS[level])
         lines.append(f"{name + ' data':<{name_width}}|{''.join(data_row)}|")
         lines.append(f"{name + ' power':<{name_width}}|{''.join(power_row)}|")
-    # Time axis.
+    # Time axis.  Labels anchor at their tick's column; a tick whose
+    # column is already covered by the previous label is skipped (not
+    # shifted) so every printed label stays aligned with its tick.
     axis = f"{'t (s)':<{name_width}}|"
     marks = ""
     tick_every = max(columns // 6, 1)
     i = 0
     while i < columns:
         label = f"{start_s + i * axis_step:.1f}"
-        if len(marks) + len(label) + 1 > columns:
-            break
-        marks = marks.ljust(i) + label
+        if i + len(label) <= columns and (not marks or len(marks) < i):
+            marks = marks.ljust(i) + label
         i += tick_every
     lines.append(axis + marks.ljust(columns)[:columns] + "|")
     legend = "legend: X data transfer; power: '#' high '=' mid '.' low ' ' off '~' transition"

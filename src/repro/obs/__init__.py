@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics, exporters and the kernel profiler.
+
+The debugging/measurement substrate every layer emits through:
+
+- :mod:`repro.obs.bus` — the :class:`TraceBus` structured event stream
+  (``time_s, layer, entity, kind, **fields``) with subscriber filtering,
+  a bounded ring buffer and a zero-overhead disabled path;
+- :mod:`repro.obs.metrics` — counters, gauges and streaming P² histograms
+  in a :class:`MetricsRegistry`;
+- :mod:`repro.obs.export` — JSONL traces, Chrome trace-event JSON
+  (Perfetto-loadable radio tracks) and summary tables;
+- :mod:`repro.obs.profiler` — per-event-kind wall-clock profile of the
+  simulation kernel;
+- :mod:`repro.obs.session` — the CLI-facing bundle of all of the above.
+"""
+
+from repro.obs.bus import NULL_BUS, TraceBus, TraceEvent
+from repro.obs.export import (
+    JsonlTraceWriter,
+    MetricsCollector,
+    chrome_trace_events,
+    radio_dwell_table,
+    top_kinds_table,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    StreamingHistogram,
+)
+from repro.obs.profiler import KernelProfiler
+from repro.obs.session import ObsSession
+
+__all__ = [
+    "NULL_BUS",
+    "TraceBus",
+    "TraceEvent",
+    "JsonlTraceWriter",
+    "MetricsCollector",
+    "chrome_trace_events",
+    "radio_dwell_table",
+    "top_kinds_table",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "StreamingHistogram",
+    "KernelProfiler",
+    "ObsSession",
+]

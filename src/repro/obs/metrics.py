@@ -1,0 +1,308 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+Instrumented code registers named instruments against a
+:class:`MetricsRegistry` and updates them on the hot path; the registry
+renders a uniform report table (via ``metrics.report.format_table``) and
+a JSON-ready dict for exporters.
+
+Histograms are *streaming*: quantiles (p50/p95/p99 by default) come from
+the P² algorithm (Jain & Chlamtac, 1985), which maintains five markers
+per tracked quantile instead of storing samples — constant memory no
+matter how many values are folded in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import format_table
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self._value:g}>"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self._value:g}>"
+
+
+class P2Quantile:
+    """One quantile tracked with the P² algorithm (five markers, no samples)."""
+
+    __slots__ = ("p", "_initial", "_q", "_n", "_np", "_dn")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.p = p
+        self._initial: List[float] = []
+        self._q: List[float] = []  # marker heights
+        self._n: List[float] = []  # marker positions
+        self._np: List[float] = []  # desired positions
+        self._dn: List[float] = []  # desired-position increments
+
+    def add(self, value: float) -> None:
+        if self._q:
+            self._update(value)
+            return
+        self._initial.append(value)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            p = self.p
+            self._q = list(self._initial)
+            self._n = [1.0, 2.0, 3.0, 4.0, 5.0]
+            self._np = [1.0, 1.0 + 2 * p, 1.0 + 4 * p, 3.0 + 2 * p, 5.0]
+            self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def _update(self, value: float) -> None:
+        q, n = self._q, self._n
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= q[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d >= 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate (exact while fewer than five samples)."""
+        if self._q:
+            return self._q[2]
+        if not self._initial:
+            return math.nan
+        ordered = sorted(self._initial)
+        # Exact linear-interpolated quantile over the retained samples.
+        rank = self.p * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+
+class StreamingHistogram:
+    """Streaming distribution summary: count/mean/min/max + P² quantiles.
+
+    No samples are stored; memory is constant in the number of values.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_quantiles")
+
+    def __init__(
+        self, name: str, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._quantiles: Dict[float, P2Quantile] = {
+            p: P2Quantile(p) for p in quantiles
+        }
+        if not self._quantiles:
+            raise ValueError("need at least one tracked quantile")
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        for estimator in self._quantiles.values():
+            estimator.add(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, p: float) -> float:
+        """Estimate for a *tracked* quantile ``p``."""
+        estimator = self._quantiles.get(p)
+        if estimator is None:
+            raise KeyError(
+                f"quantile {p} is not tracked by {self.name!r}; "
+                f"tracked: {sorted(self._quantiles)}"
+            )
+        return estimator.value() if self._count else 0.0
+
+    @property
+    def tracked_quantiles(self) -> Tuple[float, ...]:
+        return tuple(sorted(self._quantiles))
+
+    def __repr__(self) -> str:
+        return f"<StreamingHistogram {self.name} n={self._count}>"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and reported uniformly."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    # -- registration (get-or-create) ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> StreamingHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._histograms[name] = StreamingHistogram(
+                name, quantiles
+            )
+        return instrument
+
+    def _check_free(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different type"
+                )
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every instrument."""
+        payload: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            payload[name] = counter.value
+        for name, gauge in self._gauges.items():
+            payload[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            payload[name] = {
+                "count": histogram.count,
+                "mean": histogram.mean,
+                "min": histogram.min,
+                "max": histogram.max,
+                **{
+                    f"p{p * 100:g}": histogram.quantile(p)
+                    for p in histogram.tracked_quantiles
+                },
+            }
+        return payload
+
+    def report(self, title: Optional[str] = "Metrics") -> str:
+        """Plain-text summary table of all instruments."""
+        rows: List[List[object]] = []
+        for name in sorted(self._counters):
+            rows.append([name, "counter", self._counters[name].value, ""])
+        for name in sorted(self._gauges):
+            rows.append([name, "gauge", self._gauges[name].value, ""])
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            quantiles = "  ".join(
+                f"p{p * 100:g}={histogram.quantile(p):.4g}"
+                for p in histogram.tracked_quantiles
+            )
+            rows.append(
+                [
+                    name,
+                    f"histogram(n={histogram.count})",
+                    histogram.mean,
+                    quantiles,
+                ]
+            )
+        return format_table(
+            ["metric", "type", "value/mean", "quantiles"], rows, title=title
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

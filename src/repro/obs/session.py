@@ -1,0 +1,128 @@
+"""ObsSession: one observability configuration across scenario runs.
+
+The CLI builds a session from its ``--trace/--chrome-trace/--profile/
+--metrics`` flags and passes it to scenario functions as their ``obs``
+argument; each scenario calls :meth:`ObsSession.attach` on its freshly
+built simulator (binding the TraceBus and installing the profiler) and
+the CLI calls :meth:`record` with each result and :meth:`close` at the
+end to flush files and collect report tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.obs.bus import TraceBus
+from repro.obs.export import (
+    ChromeRun,
+    JsonlTraceWriter,
+    MetricsCollector,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import KernelProfiler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scenario import ScenarioResult
+    from repro.sim.core import Simulator
+
+
+class ObsSession:
+    """Bundle of bus + exporters + profiler behind the CLI's obs flags.
+
+    Parameters
+    ----------
+    trace_path:
+        JSONL trace destination (None = no file; events still flow to
+        other subscribers and the ring buffer).
+    chrome_trace_path:
+        Chrome trace-event JSON destination (None = skip).
+    profile:
+        Install a :class:`KernelProfiler` on every attached simulator.
+    collect_metrics:
+        Fold bus traffic into a :class:`MetricsRegistry`.
+    ring_capacity:
+        Bus ring-buffer size (streaming exports don't depend on it).
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        chrome_trace_path: Optional[str] = None,
+        profile: bool = False,
+        collect_metrics: bool = False,
+        ring_capacity: int = 65_536,
+    ) -> None:
+        self.bus = TraceBus(capacity=ring_capacity)
+        self.profiler = KernelProfiler() if profile else None
+        self.registry: Optional[MetricsRegistry] = None
+        #: Whether the caller asked for the registry report (``--metrics``);
+        #: the registry itself may exist just to feed other summaries.
+        self.registry_requested = collect_metrics
+        self._writer: Optional[JsonlTraceWriter] = None
+        self._chrome_trace_path = chrome_trace_path
+        self._chrome_runs: List[ChromeRun] = []
+        self._run_label: Optional[str] = None
+        self._closed = False
+        if trace_path:
+            self._writer = JsonlTraceWriter.open(trace_path).attach(self.bus)
+        if collect_metrics:
+            collector = MetricsCollector().attach(self.bus)
+            self.registry = collector.registry
+
+    @classmethod
+    def from_args(cls, args) -> Optional["ObsSession"]:
+        """Build a session from parsed CLI args; None when no flag is set."""
+        trace_path = getattr(args, "trace", None)
+        chrome_path = getattr(args, "chrome_trace", None)
+        profile = getattr(args, "profile", False)
+        metrics = getattr(args, "metrics", False)
+        if not (trace_path or chrome_path or profile or metrics):
+            return None
+        return cls(
+            trace_path=trace_path,
+            chrome_trace_path=chrome_path,
+            profile=profile,
+            collect_metrics=metrics,
+        )
+
+    # -- scenario hooks ------------------------------------------------------
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind the bus to ``sim`` and install the profiler, if any."""
+        sim.attach_trace(self.bus)
+        if self.profiler is not None:
+            self.profiler.install(sim)
+
+    def begin_run(self, label: str) -> None:
+        """Label subsequent trace lines with the run about to start."""
+        self._run_label = label
+        if self._writer is not None:
+            self._writer.run = label
+
+    def record(self, result: "ScenarioResult") -> "ScenarioResult":
+        """Note a finished scenario (its radios become chrome-trace tracks)."""
+        self._chrome_runs.append(
+            (result.label, result.duration_s, dict(result.radios))
+        )
+        return result
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush files; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+        if self._chrome_trace_path and self._chrome_runs:
+            write_chrome_trace(self._chrome_trace_path, self._chrome_runs)
+        if self.profiler is not None:
+            self.profiler.uninstall_all()
+
+    def __enter__(self) -> "ObsSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

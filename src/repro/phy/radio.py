@@ -228,6 +228,18 @@ class Radio:
             return
             yield  # pragma: no cover - generator marker
         cost = self.model.transition(self._state, target)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "phy",
+                self.name,
+                "state",
+                source=self._state,
+                target=target,
+                dwell_s=self.sim.now - self._last_state_change,
+                latency_s=cost.latency_s,
+                energy_j=cost.energy_j,
+            )
         self._account_state_time()
         self._in_transition = True
         self._transition_count += 1

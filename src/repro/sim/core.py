@@ -19,6 +19,24 @@ class SimulationError(RuntimeError):
     """Raised when the simulation itself is misused (e.g. time reversal)."""
 
 
+class _DisabledTrace:
+    """Permanently-off stand-in for a :class:`repro.obs.bus.TraceBus`.
+
+    Defined here (not in ``repro.obs``) so the kernel depends on nothing:
+    instrumented hot paths across the stack guard with a single
+    ``if sim.trace.enabled:`` check against this sentinel.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, layer: str, entity: str, kind: str, **fields: Any) -> None:
+        """No-op; a real bus is attached via :meth:`Simulator.attach_trace`."""
+
+
+_NULL_TRACE = _DisabledTrace()
+
+
 class Simulator:
     """A discrete-event simulator with a deterministic run loop.
 
@@ -27,13 +45,34 @@ class Simulator:
     start_time:
         Initial simulation time (default ``0.0``).  Time units are
         seconds throughout this project.
+    trace:
+        Optional :class:`repro.obs.bus.TraceBus` to bind; without one,
+        ``self.trace`` is a permanently disabled sentinel and
+        instrumentation costs one attribute read + branch per site.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, trace: Any = None) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.trace: Any = _NULL_TRACE
+        if trace is not None:
+            self.attach_trace(trace)
+
+    def attach_trace(self, bus: Any) -> None:
+        """Bind a TraceBus: its clock becomes this simulator's clock.
+
+        Kernel dispatch tracing is installed by shadowing ``step`` with
+        :meth:`_traced_step` (an instance attribute), so an untraced
+        simulator's hot loop carries no instrumentation at all.  Attach
+        the trace before installing a profiler, so the profiler wraps
+        the traced step.
+        """
+        bus.bind_clock(lambda: self._now)
+        self.trace = bus
+        if "step" not in self.__dict__:
+            self.step = self._traced_step  # type: ignore[method-assign]
 
     # -- time ----------------------------------------------------------------
 
@@ -104,6 +143,36 @@ class Simulator:
             # A failure nobody waited for must not pass silently.
             raise event.value
 
+    def _traced_step(self) -> None:
+        """:meth:`step` variant emitting a kernel dispatch trace event.
+
+        Duplicates the ``step`` body rather than wrapping it: the emit
+        must land after the pop (so the bus clock reads the event's
+        time) but before the callbacks run (so layer events nest under
+        their dispatch).  Installed over ``step`` by
+        :meth:`attach_trace`.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        trace = self.trace
+        if trace.enabled:
+            trace.emit(
+                "sim",
+                "kernel",
+                "dispatch",
+                event=type(event).__name__,
+                queued=len(self._queue),
+            )
+        callbacks = event.callbacks
+        event.callbacks = []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            raise event.value
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulation time reaches ``until``.
 
@@ -111,17 +180,21 @@ class Simulator:
         if the queue drains earlier, so time-weighted statistics close
         consistently.
         """
+        # Hoisted loop invariants: the heap is mutated in place (never
+        # rebound) and step() is not replaced mid-run.
+        queue = self._queue
+        step = self.step
         if until is not None:
             if until < self._now:
                 raise SimulationError(
                     f"run(until={until!r}) is in the past (now={self._now!r})"
                 )
-            while self._queue and self._queue[0][0] <= until:
-                self.step()
+            while queue and queue[0][0] <= until:
+                step()
             self._now = float(until)
         else:
-            while self._queue:
-                self.step()
+            while queue:
+                step()
 
     def __repr__(self) -> str:
         return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

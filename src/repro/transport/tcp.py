@@ -236,6 +236,15 @@ class TcpSender:
         if retransmission:
             self.stats.retransmissions += 1
             self._retransmitted.add(seq)
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "transport",
+                    self.address,
+                    "retransmit",
+                    seq=seq,
+                    length=length,
+                )
         else:
             self._send_times.setdefault(seq, self.sim.now)
         self.path.send(segment)
@@ -260,6 +269,15 @@ class TcpSender:
             # Fast retransmit on triple duplicate ACK.
             if self._dupacks >= 3 and not self._in_fast_recovery:
                 self.stats.fast_retransmits += 1
+                bus = self.sim.trace
+                if bus.enabled:
+                    bus.emit(
+                        "transport",
+                        self.address,
+                        "fast-retransmit",
+                        seq=self.snd_una,
+                        cwnd=self.cwnd,
+                    )
                 flight_segments = max(
                     (self.snd_nxt - self.snd_una) / self.mss, 2.0
                 )
@@ -276,6 +294,16 @@ class TcpSender:
                 # Retransmission timeout: Reno collapses to one segment.
                 self._ack_event = None
                 self.stats.timeouts += 1
+                bus = self.sim.trace
+                if bus.enabled:
+                    bus.emit(
+                        "transport",
+                        self.address,
+                        "rto",
+                        seq=self.snd_una,
+                        rto_s=self._rto * self._rto_backoff,
+                        cwnd=self.cwnd,
+                    )
                 flight_segments = max(
                     (self.snd_nxt - self.snd_una) / self.mss, 2.0
                 )

@@ -32,6 +32,21 @@ class TestSampleStates:
         with pytest.raises(ValueError):
             sample_states(series, 10.0, 10.0, columns=5)
 
+    def test_negative_columns_rejected(self):
+        series = TimeSeries()
+        series.append(0.0, "a")
+        with pytest.raises(ValueError):
+            sample_states(series, 0.0, 10.0, columns=-3)
+
+    def test_reversed_window_rejected(self):
+        series = TimeSeries()
+        series.append(0.0, "a")
+        with pytest.raises(ValueError):
+            sample_states(series, 10.0, 5.0, columns=4)
+
+    def test_empty_series_is_all_unknown(self):
+        assert sample_states(TimeSeries(), 0.0, 10.0, columns=3) == ["?"] * 3
+
 
 class TestRenderTimeline:
     def make_radio_with_bursts(self):
@@ -74,3 +89,34 @@ class TestRenderTimeline:
     def test_requires_radios(self):
         with pytest.raises(ValueError):
             render_schedule_timeline({}, 0.0, 10.0)
+
+    def test_axis_labels_align_with_their_ticks(self):
+        # Long labels (e.g. "1000.0") used to push later tick labels off
+        # their columns; colliding labels must be skipped, not shifted.
+        radio = self.make_radio_with_bursts()
+        text = render_schedule_timeline({"c": radio}, 1000.0, 1010.0, columns=24)
+        axis = next(line for line in text.splitlines() if "t (s)" in line)
+        content = axis.split("|", 1)[1].rstrip("|")
+        assert len(content) == 24
+        step = 10.0 / 24
+        position = 0
+        while position < len(content):
+            if content[position] == " ":
+                position += 1
+                continue
+            end = content.find(" ", position)
+            if end == -1:
+                end = len(content)
+            label = content[position:end]
+            # Every printed label sits exactly at its own tick's column.
+            expected = 1000.0 + position * step
+            assert float(label) == pytest.approx(expected, abs=0.05)
+            position = end
+
+    def test_axis_prints_multiple_labels_when_they_fit(self):
+        radio = self.make_radio_with_bursts()
+        text = render_schedule_timeline({"c": radio}, 0.0, 10.0, columns=60)
+        axis = next(line for line in text.splitlines() if "t (s)" in line)
+        labels = axis.split("|", 1)[1].rstrip("|").split()
+        assert len(labels) >= 4
+        assert labels[0] == "0.0"

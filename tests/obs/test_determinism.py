@@ -1,0 +1,49 @@
+"""Determinism guarantees: seeded runs produce byte-identical traces."""
+
+from repro.core.scenario import run_hotspot_scenario
+from repro.obs import ObsSession, TraceBus
+
+
+def trace_hotspot(path, seed, duration_s=20.0):
+    with ObsSession(trace_path=str(path)) as obs:
+        obs.begin_run("hotspot")
+        run_hotspot_scenario(
+            n_clients=2,
+            duration_s=duration_s,
+            bluetooth_quality_script=[(0.0, 1.0), (8.0, 0.2)],
+            seed=seed,
+            obs=obs,
+        )
+    return path.read_bytes()
+
+
+class TestTraceDeterminism:
+    def test_same_seed_byte_identical_jsonl(self, tmp_path):
+        first = trace_hotspot(tmp_path / "a.jsonl", seed=3)
+        second = trace_hotspot(tmp_path / "b.jsonl", seed=3)
+        assert first == second
+        assert first  # non-empty: the scenario actually traced
+
+    def test_different_run_diverges(self, tmp_path):
+        # Sanity check that the byte-identity above is not vacuous.
+        first = trace_hotspot(tmp_path / "a.jsonl", seed=3)
+        other = trace_hotspot(tmp_path / "c.jsonl", seed=3, duration_s=25.0)
+        assert first != other
+
+
+class TestDisabledBus:
+    def test_disabled_bus_produces_no_events_or_side_effects(self):
+        bus = TraceBus(enabled=False)
+        calls = []
+        bus.subscribe(calls.append)
+        run_hotspot_scenario(n_clients=1, duration_s=5.0)
+        # The scenario above never saw the bus; emit directly too.
+        bus.emit("phy", "radio", "state")
+        assert bus.emitted == 0
+        assert len(bus) == 0
+        assert calls == []
+
+    def test_scenario_without_obs_emits_nothing(self):
+        result = run_hotspot_scenario(n_clients=1, duration_s=5.0)
+        for radio in result.radios.values():
+            assert not radio.sim.trace.enabled

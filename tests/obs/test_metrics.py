@@ -1,0 +1,155 @@
+"""Tests for the metrics registry and the P² streaming quantiles."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, P2Quantile, StreamingHistogram
+
+
+def exact_quantile(values, p):
+    """Exact linear-interpolated quantile (numpy's default method)."""
+    ordered = sorted(values)
+    rank = p * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("frames")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("frames").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+
+class TestP2Quantile:
+    def test_invalid_p_rejected(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_small_n_is_exact(self):
+        # Fewer than five samples: the estimator interpolates exactly.
+        for values in ([3.0], [4.0, 1.0], [5.0, 2.0, 9.0], [7.0, 1.0, 3.0, 5.0]):
+            for p in (0.25, 0.5, 0.95):
+                estimator = P2Quantile(p)
+                for value in values:
+                    estimator.add(value)
+                assert estimator.value() == pytest.approx(
+                    exact_quantile(values, p)
+                )
+
+    def test_median_of_uniform_stream(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+        estimator = P2Quantile(0.5)
+        for value in values:
+            estimator.add(value)
+        assert estimator.value() == pytest.approx(
+            exact_quantile(values, 0.5), abs=2.0
+        )
+
+    def test_tail_quantiles_of_exponential_stream(self):
+        rng = random.Random(11)
+        values = [rng.expovariate(1.0) for _ in range(20000)]
+        for p in (0.95, 0.99):
+            estimator = P2Quantile(p)
+            for value in values:
+                estimator.add(value)
+            exact = exact_quantile(values, p)
+            assert estimator.value() == pytest.approx(exact, rel=0.08)
+
+    def test_sequential_integers(self):
+        # A deterministic, adversarially ordered stream.
+        estimator = P2Quantile(0.5)
+        for value in range(1, 1001):
+            estimator.add(float(value))
+        assert estimator.value() == pytest.approx(500.5, rel=0.02)
+
+
+class TestStreamingHistogram:
+    def test_summary_statistics(self):
+        histogram = StreamingHistogram("dwell")
+        for value in (2.0, 4.0, 6.0):
+            histogram.add(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 2.0
+        assert histogram.max == 6.0
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = StreamingHistogram("dwell")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.min == 0.0
+        assert histogram.max == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_untracked_quantile_raises(self):
+        histogram = StreamingHistogram("dwell", quantiles=(0.5,))
+        with pytest.raises(KeyError):
+            histogram.quantile(0.99)
+
+    def test_needs_a_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram("dwell", quantiles=())
+
+    def test_tracked_quantiles_sorted(self):
+        histogram = StreamingHistogram("dwell", quantiles=(0.99, 0.5))
+        assert histogram.tracked_quantiles == (0.5, 0.99)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(3)
+        registry.gauge("depth").set(2)
+        histogram = registry.histogram("dwell", quantiles=(0.5,))
+        histogram.add(1.0)
+        histogram.add(3.0)
+        snapshot = registry.as_dict()
+        assert snapshot["frames"] == 3.0
+        assert snapshot["depth"] == 2.0
+        assert snapshot["dwell"]["count"] == 2
+        assert snapshot["dwell"]["mean"] == pytest.approx(2.0)
+        assert snapshot["dwell"]["p50"] == pytest.approx(2.0)
+
+    def test_report_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc()
+        registry.gauge("depth")
+        registry.histogram("dwell").add(1.0)
+        report = registry.report()
+        for name in ("frames", "depth", "dwell", "p95"):
+            assert name in report
