@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Campaign engine: a burst-size × client-count grid, cached and parallel.
+
+Instead of hand-rolled nested loops, declare the sweep once as a
+:class:`repro.exp.CampaignSpec`: the engine expands the grid, fans runs
+across a worker pool, replicates every point over the seed list, and
+caches each completed run by content hash — re-running this script is
+instant because every run is a cache hit, and widening the grid only
+computes the new points.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import tempfile
+
+from repro.exp import (
+    CampaignSpec,
+    ResultStore,
+    aggregate,
+    run_campaign,
+    summary_table,
+)
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        name="burst-x-clients",
+        scenario="hotspot",  # resolved via the repro.exp scenario registry
+        base={"duration_s": 30.0, "interfaces": ["wlan"],
+              "server_prefetch_s": 60.0},
+        grid={
+            "burst_bytes": [20_000, 40_000, 80_000],
+            "n_clients": [1, 3],
+        },
+        # The client buffer is a deterministic function of the swept
+        # burst size; derived values are hashed like any other param.
+        derive=lambda p: {"client_buffer_bytes": int(p["burst_bytes"] * 2.4)},
+        seeds=[0, 1, 2],  # statistics (mean ± 95% CI) span the seeds
+    )
+
+    store_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+    with ResultStore(store_dir) as store:
+        report = run_campaign(spec, store=store, jobs=4)
+    print(report.status_line())
+    print()
+    print(
+        summary_table(
+            aggregate(report.results),
+            spec.grid_keys,
+            fields=("wnic_power_w", "device_power_w"),
+            title="Hotspot WNIC power: burst size x client count",
+        )
+    )
+
+    # Resume: same spec, same store -> zero scenario re-executions.
+    with ResultStore(store_dir) as store:
+        resumed = run_campaign(spec, store=store, jobs=1)
+    print()
+    print(f"re-run: {resumed.status_line()}")
+    assert resumed.executed == 0, "expected a fully cached resume"
+
+
+if __name__ == "__main__":
+    main()

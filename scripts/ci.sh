@@ -34,4 +34,31 @@ if count == 0:
 print(f"trace ok: {count} events across layers {sorted(layers)}")
 EOF
 
+echo "== campaign smoke check =="
+campaign_dir="$(mktemp -d /tmp/repro-campaign.XXXXXX)"
+serial_dir="$(mktemp -d /tmp/repro-campaign-serial.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir"' EXIT
+campaign_args=(campaign --scenario hotspot
+  --param burst_bytes=20000,40000 --param n_clients=1,2
+  --set duration_s=5 --seeds 1 --name ci-smoke --json)
+
+# 2x2 grid through the worker pool, then the same grid serially into a
+# fresh store: parallel and serial artifacts must be byte-identical.
+python -m repro "${campaign_args[@]}" --jobs 2 --store "$campaign_dir" \
+  > "$campaign_dir/parallel.json" 2> "$campaign_dir/parallel.err"
+python -m repro "${campaign_args[@]}" --jobs 1 --store "$serial_dir" \
+  > "$serial_dir/serial.json" 2> "$serial_dir/serial.err"
+diff "$campaign_dir/parallel.json" "$serial_dir/serial.json" \
+  || { echo "campaign smoke: parallel vs serial output differs"; exit 1; }
+
+# Resume from the populated store: zero scenario re-executions.
+python -m repro "${campaign_args[@]}" --jobs 2 --store "$campaign_dir" \
+  > "$campaign_dir/resumed.json" 2> "$campaign_dir/resumed.err"
+grep -q "4 cached, 0 executed" "$campaign_dir/resumed.err" \
+  || { echo "campaign smoke: resume was not fully cached:"; \
+       cat "$campaign_dir/resumed.err"; exit 1; }
+diff "$campaign_dir/parallel.json" "$campaign_dir/resumed.json" \
+  || { echo "campaign smoke: resumed output differs"; exit 1; }
+echo "campaign ok: parallel==serial, resume fully cached"
+
 echo "ci.sh: all checks passed"

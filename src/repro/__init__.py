@@ -23,4 +23,22 @@ __version__ = "1.0.0"
 
 from repro.sim import Simulator
 
-__all__ = ["Simulator", "__version__"]
+
+def package_version() -> str:
+    """Installed package version, falling back to the source default.
+
+    Campaign artifacts (``repro.exp``) record this so a stored result
+    can be traced back to the code that produced it; ``repro --version``
+    prints it.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
+__all__ = ["Simulator", "__version__", "package_version"]

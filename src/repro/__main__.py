@@ -6,7 +6,9 @@ Usage::
     python -m repro fig2                 # average power comparison
     python -m repro sweep-schedulers     # ablation A-sched
     python -m repro sweep-bursts         # ablation A-burst
+    python -m repro campaign ...         # declarative parameter-grid campaigns
     python -m repro trace                # run a scenario, summarise its trace
+    python -m repro --version
     python -m repro --help
 
 Every subcommand accepts the observability flags ``--trace FILE``
@@ -14,6 +16,11 @@ Every subcommand accepts the observability flags ``--trace FILE``
 ``--profile`` (kernel wall-clock profile) and ``--metrics`` (registry
 summary table).  Without any of them the run is bit-identical to an
 un-instrumented one.
+
+The sweep commands and ``campaign`` run through the
+:mod:`repro.exp` engine: add ``--jobs N`` to fan runs out across a
+worker pool and ``--store DIR`` to cache completed runs on disk, so an
+interrupted or repeated invocation only computes what is missing.
 """
 
 from __future__ import annotations
@@ -21,9 +28,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro import package_version
 from repro.core import run_hotspot_scenario, run_unscheduled_scenario
 from repro.core.scheduling import scheduler_names
+from repro.exp import (
+    DEFAULT_FIELDS,
+    CampaignReport,
+    CampaignSpec,
+    ResultStore,
+    aggregate,
+    campaign_payload,
+    run_campaign,
+    scenario_names,
+    summary_rows,
+    write_csv,
+)
 from repro.metrics import format_table, render_schedule_timeline
 from repro.metrics.energy import wnic_power_saving_fraction
 from repro.obs import ObsSession, radio_dwell_table, top_kinds_table
@@ -40,6 +61,49 @@ def _finish_obs(obs: ObsSession | None) -> None:
     if obs.registry is not None and obs.registry_requested:
         print()
         print(obs.registry.report())
+
+
+def _emit_rows(
+    args: argparse.Namespace,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    json_payload: Any,
+    title: str,
+    sort_json: bool = False,
+) -> None:
+    """Shared row sink for sweeps and campaigns: table or ``--json``.
+
+    ``sort_json`` sorts object keys — campaigns need it so records
+    loaded from the cache (key-sorted JSON) and freshly computed ones
+    (insertion order) serialise identically; the sweeps keep their
+    original field order.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(json_payload, indent=2, sort_keys=sort_json))
+    else:
+        print(format_table(headers, rows, title=title))
+
+
+def _run_sweep(args: argparse.Namespace, spec: CampaignSpec) -> CampaignReport:
+    """Run a sweep-shaped campaign honouring the obs/jobs/store flags."""
+    obs = ObsSession.from_args(args)
+    jobs = getattr(args, "jobs", 1)
+    if obs is not None and jobs != 1:
+        print(
+            "note: tracing requires in-process execution; forcing --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
+    store = ResultStore(args.store) if getattr(args, "store", None) else None
+    try:
+        report = run_campaign(spec, store=store, jobs=jobs, obs=obs)
+    finally:
+        if store is not None:
+            store.close()
+    if store is not None:
+        print(report.status_line(), file=sys.stderr)
+    _finish_obs(obs)
+    return report
 
 
 def cmd_fig1(args: argparse.Namespace) -> int:
@@ -128,91 +192,152 @@ def cmd_fig2(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep_schedulers(args: argparse.Namespace) -> int:
-    obs = ObsSession.from_args(args)
-    rows = []
-    for name in scheduler_names():
-        if obs is not None:
-            obs.begin_run(f"sweep-schedulers/{name}")
-        result = run_hotspot_scenario(
-            n_clients=args.clients,
-            duration_s=args.duration,
-            scheduler=name,
-            seed=args.seed,
-            obs=obs,
-        )
-        if obs is not None:
-            obs.record(result)
-        rows.append(
-            [name, result.mean_wnic_power_w(), result.qos_maintained()]
-        )
-    if args.json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "scheduler": name,
-                        "wnic_power_w": power,
-                        "qos_maintained": qos,
-                    }
-                    for name, power, qos in rows
-                ],
-                indent=2,
-            )
-        )
-        _finish_obs(obs)
-        return 0
-    print(
-        format_table(
-            ["scheduler", "WNIC power (W)", "QoS"], rows, title="Scheduler sweep"
-        )
+    spec = CampaignSpec(
+        name="sweep-schedulers",
+        scenario="hotspot",
+        base={"n_clients": args.clients, "duration_s": args.duration},
+        grid={"scheduler": scheduler_names()},
+        seeds=[args.seed],
     )
-    _finish_obs(obs)
+    report = _run_sweep(args, spec)
+    rows = [
+        [r.params["scheduler"], r.record["wnic_power_w"], r.record["qos_maintained"]]
+        for r in report.results
+    ]
+    _emit_rows(
+        args,
+        headers=["scheduler", "WNIC power (W)", "QoS"],
+        rows=rows,
+        json_payload=[
+            {"scheduler": name, "wnic_power_w": power, "qos_maintained": qos}
+            for name, power, qos in rows
+        ],
+        title="Scheduler sweep",
+    )
     return 0
 
 
 def cmd_sweep_bursts(args: argparse.Namespace) -> int:
-    obs = ObsSession.from_args(args)
-    rows = []
-    for burst in (10_000, 20_000, 40_000, 80_000, 160_000):
-        if obs is not None:
-            obs.begin_run(f"sweep-bursts/{burst}")
-        result = run_hotspot_scenario(
-            n_clients=args.clients,
-            duration_s=args.duration,
-            burst_bytes=burst,
-            client_buffer_bytes=int(burst * 2.4),
-            interfaces=("wlan",),
-            server_prefetch_s=60.0,
-            seed=args.seed,
-            obs=obs,
-        )
-        if obs is not None:
-            obs.record(result)
-        rows.append([burst, result.mean_wnic_power_w(), result.qos_maintained()])
-    if args.json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "burst_bytes": burst,
-                        "wnic_power_w": power,
-                        "qos_maintained": qos,
-                    }
-                    for burst, power, qos in rows
-                ],
-                indent=2,
-            )
-        )
-        _finish_obs(obs)
-        return 0
-    print(
-        format_table(
-            ["min burst (B)", "WNIC power (W)", "QoS"],
-            rows,
-            title="Burst-size sweep (WLAN-only)",
-        )
+    spec = CampaignSpec(
+        name="sweep-bursts",
+        scenario="hotspot",
+        base={
+            "n_clients": args.clients,
+            "duration_s": args.duration,
+            "interfaces": ["wlan"],
+            "server_prefetch_s": 60.0,
+        },
+        grid={"burst_bytes": [10_000, 20_000, 40_000, 80_000, 160_000]},
+        derive=lambda p: {"client_buffer_bytes": int(p["burst_bytes"] * 2.4)},
+        seeds=[args.seed],
     )
-    _finish_obs(obs)
+    report = _run_sweep(args, spec)
+    rows = [
+        [
+            r.params["burst_bytes"],
+            r.record["wnic_power_w"],
+            r.record["qos_maintained"],
+        ]
+        for r in report.results
+    ]
+    _emit_rows(
+        args,
+        headers=["min burst (B)", "WNIC power (W)", "QoS"],
+        rows=rows,
+        json_payload=[
+            {"burst_bytes": burst, "wnic_power_w": power, "qos_maintained": qos}
+            for burst, power, qos in rows
+        ],
+        title="Burst-size sweep (WLAN-only)",
+    )
+    return 0
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI parameter value: JSON first, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_axis(option: str) -> tuple[str, List[Any]]:
+    """Parse ``--param name=v1,v2,...`` (or ``name=[json,list]``)."""
+    name, sep, values = option.partition("=")
+    if not sep or not name or not values:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=V1,V2,... got {option!r}"
+        )
+    if values.lstrip().startswith("["):
+        parsed = _parse_value(values)
+        if not isinstance(parsed, list):
+            raise argparse.ArgumentTypeError(f"{option!r}: not a JSON list")
+        return name, parsed
+    return name, [_parse_value(v) for v in values.split(",")]
+
+
+def _parse_setting(option: str) -> tuple[str, Any]:
+    """Parse ``--set name=value``."""
+    name, sep, value = option.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {option!r}")
+    return name, _parse_value(value)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    grid: Dict[str, List[Any]] = {}
+    for option in args.param or []:
+        name, values = _parse_axis(option)
+        grid[name] = values
+    base: Dict[str, Any] = {}
+    for option in args.set or []:
+        name, value = _parse_setting(option)
+        base[name] = value
+    spec = CampaignSpec(
+        name=args.name or f"campaign-{args.scenario}",
+        scenario=args.scenario,
+        base=base,
+        grid=grid,
+        seeds=[args.seed + i for i in range(args.seeds)],
+        collect_metrics=args.metrics,
+    )
+    store: Optional[ResultStore] = None
+    if args.store:
+        store = ResultStore(args.store)
+    try:
+        report = run_campaign(
+            spec, store=store, jobs=args.jobs, refresh=args.fresh
+        )
+    finally:
+        if store is not None:
+            store.close()
+    print(report.status_line(), file=sys.stderr)
+    summaries = aggregate(report.results)
+    fields = (
+        [f.strip() for f in args.fields.split(",") if f.strip()]
+        if args.fields
+        else None
+    )
+    if args.csv:
+        write_csv(
+            args.csv,
+            summaries,
+            spec.grid_keys,
+            fields=fields or DEFAULT_FIELDS,
+        )
+        print(f"wrote {args.csv}", file=sys.stderr)
+    headers, rows = summary_rows(
+        summaries, spec.grid_keys, fields=fields or DEFAULT_FIELDS
+    )
+    _emit_rows(
+        args,
+        headers=headers,
+        rows=rows,
+        json_payload=campaign_payload(report, summaries),
+        title=f"Campaign {spec.name} "
+        f"({spec.scenario}, {len(spec.seeds)} seed(s))",
+        sort_json=True,
+    )
     return 0
 
 
@@ -283,9 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of tables",
     )
+    pool = argparse.ArgumentParser(add_help=False)
+    pool.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = in-process; results are identical)",
+    )
+    pool.add_argument(
+        "--store",
+        metavar="DIR",
+        help="cache completed runs in DIR/results.jsonl and resume from it",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Power Saving Techniques for Wireless LANs' (DATE 2005)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser(
@@ -298,11 +441,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser(
         "sweep-schedulers",
-        parents=[shared, json_flag],
+        parents=[shared, json_flag, pool],
         help="scheduler ablation",
     )
     sub.add_parser(
-        "sweep-bursts", parents=[shared, json_flag], help="burst-size ablation"
+        "sweep-bursts",
+        parents=[shared, json_flag, pool],
+        help="burst-size ablation",
+    )
+    campaign = sub.add_parser(
+        "campaign",
+        parents=[json_flag, pool],
+        help="run a declarative parameter-grid campaign "
+        "(cached, resumable, parallel)",
+        description="Expand a parameter grid over a named scenario, run "
+        "every (point, seed) combination across a worker pool, cache "
+        "completed runs by content hash, and aggregate mean/stdev/CI "
+        "across seeds.  Example: repro campaign --scenario hotspot "
+        "--param burst_bytes=20000,40000 --param n_clients=1,2 "
+        "--set duration_s=20 --seeds 3 --jobs 4 --store .campaigns/demo",
+    )
+    campaign.add_argument(
+        "--scenario",
+        default="hotspot",
+        choices=scenario_names(),
+        help="registered scenario to sweep",
+    )
+    campaign.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=V1,V2,...",
+        help="grid axis (repeatable); values parse as JSON when possible",
+    )
+    campaign.add_argument(
+        "--set",
+        action="append",
+        metavar="NAME=VALUE",
+        help="fixed scenario parameter (repeatable)",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=0, help="first seed of the replication set"
+    )
+    campaign.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seeds per grid point (seed, seed+1, ...); statistics span them",
+    )
+    campaign.add_argument("--name", help="campaign name (labels and artifacts)")
+    campaign.add_argument(
+        "--fields",
+        metavar="F1,F2",
+        help="record fields to aggregate in the table/CSV "
+        "(default: wnic_power_w,device_power_w)",
+    )
+    campaign.add_argument(
+        "--csv", metavar="FILE", help="also write the aggregated grid as CSV"
+    )
+    campaign.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect a per-run metrics snapshot and merge it per grid point",
+    )
+    campaign.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore cached results (recompute and overwrite the store)",
     )
     trace_parser = sub.add_parser(
         "trace",
@@ -321,6 +526,7 @@ _COMMANDS = {
     "fig2": cmd_fig2,
     "sweep-schedulers": cmd_sweep_schedulers,
     "sweep-bursts": cmd_sweep_bursts,
+    "campaign": cmd_campaign,
     "trace": cmd_trace,
 }
 

@@ -84,6 +84,25 @@ class ScenarioResult:
     def qos_maintained(self) -> bool:
         return all(c.qos.maintained for c in self.clients)
 
+    def summary_record(self) -> Dict[str, object]:
+        """JSON-ready per-run summary (the campaign engine's cache unit).
+
+        Only plain scalars: this is what :mod:`repro.exp` hashes runs
+        against, persists in its result store, and aggregates across
+        seeds — keep fields deterministic for a given (params, seed).
+        """
+        return {
+            "label": self.label,
+            "duration_s": self.duration_s,
+            "n_clients": len(self.clients),
+            "wnic_power_w": self.mean_wnic_power_w(),
+            "device_power_w": self.mean_total_power_w(),
+            "qos_maintained": self.qos_maintained(),
+            "bursts": sum(c.bursts for c in self.clients),
+            "bytes_received": sum(c.bytes_received for c in self.clients),
+            "switchovers": sum(c.switchovers for c in self.clients),
+        }
+
 
 #: MP3 decode keeps the platform busy a modest fraction of the time.
 _MP3_DECODE_BUSY_FRACTION = 0.15

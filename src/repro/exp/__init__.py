@@ -1,0 +1,92 @@
+"""Experiment campaigns: declarative grids, parallel runs, cached results.
+
+The engine behind ``repro campaign`` and the rebuilt sweep commands:
+
+- :mod:`repro.exp.spec` — :class:`CampaignSpec` (scenario name + base
+  params + grid + seeds) expanding deterministically into
+  :class:`RunSpec` runs, each identified by a SHA-256 content hash;
+- :mod:`repro.exp.grid` — cartesian grid expansion in declaration order;
+- :mod:`repro.exp.store` — append-only JSONL :class:`ResultStore`;
+  completed runs are flushed line-by-line so interrupted campaigns
+  resume instead of recomputing;
+- :mod:`repro.exp.runner` — :func:`run_campaign`: cache lookup, fan-out
+  over a ``multiprocessing`` pool, order-preserving assembly (``jobs=1``
+  and ``jobs=N`` give byte-identical campaign artifacts);
+- :mod:`repro.exp.aggregate` — mean/stdev/95 % CI across seeds per grid
+  point, metrics-snapshot merging, table/JSON/CSV rendering;
+- :mod:`repro.exp.scenarios` — the name → scenario-function registry
+  campaign specs reference.
+
+Quick programmatic use::
+
+    from repro.exp import CampaignSpec, ResultStore, aggregate, run_campaign
+
+    spec = CampaignSpec(
+        name="burst-sweep",
+        scenario="hotspot",
+        base={"duration_s": 30.0},
+        grid={"burst_bytes": [20_000, 40_000, 80_000]},
+        seeds=[0, 1, 2],
+    )
+    report = run_campaign(spec, store=ResultStore(".campaigns/burst"), jobs=4)
+    for point in aggregate(report.results):
+        print(point.params, point.stats["wnic_power_w"].render())
+"""
+
+from repro.exp.aggregate import (
+    DEFAULT_FIELDS,
+    FieldStats,
+    GridPointSummary,
+    aggregate,
+    campaign_payload,
+    dump_json,
+    merge_metric_snapshots,
+    summary_rows,
+    summary_table,
+    t_critical_95,
+    write_csv,
+)
+from repro.exp.grid import expand_grid, grid_size
+from repro.exp.runner import CampaignReport, RunResult, execute_run, run_campaign
+from repro.exp.scenarios import (
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.exp.spec import (
+    CampaignSpec,
+    RunSpec,
+    canonical_json,
+    canonical_params,
+    run_key,
+)
+from repro.exp.store import ResultStore
+
+__all__ = [
+    "DEFAULT_FIELDS",
+    "CampaignReport",
+    "CampaignSpec",
+    "FieldStats",
+    "GridPointSummary",
+    "ResultStore",
+    "RunResult",
+    "RunSpec",
+    "aggregate",
+    "campaign_payload",
+    "canonical_json",
+    "canonical_params",
+    "dump_json",
+    "execute_run",
+    "expand_grid",
+    "get_scenario",
+    "grid_size",
+    "merge_metric_snapshots",
+    "register_scenario",
+    "run_campaign",
+    "run_key",
+    "scenario_names",
+    "summary_rows",
+    "summary_table",
+    "t_critical_95",
+    "write_csv",
+]

@@ -1,0 +1,287 @@
+"""Aggregation: per-grid-point statistics across seeds, tables, artifacts.
+
+The runner hands back one record per (grid point, seed); this module
+folds the seed axis into mean/stdev/95 % confidence intervals per
+numeric field, merges per-run metrics snapshots, and renders the result
+as a fixed-width table, a JSON payload or a CSV file.  Everything here
+is deterministic: grouping preserves the spec's expansion order and the
+JSON encoder sorts keys, so identical campaigns aggregate to identical
+bytes (the property the CI resume check diffs on).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exp.runner import CampaignReport, RunResult
+from repro.exp.spec import canonical_json
+from repro.metrics.report import format_table
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom; the
+#: normal 1.96 approximation takes over past 30.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """95 % two-sided Student-t critical value for ``df`` degrees."""
+    if df < 1:
+        return 0.0
+    return _T95.get(df, 1.96)
+
+
+@dataclass
+class FieldStats:
+    """Mean/stdev/CI of one numeric record field across seeds."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci95: float
+    min: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "FieldStats":
+        n = len(values)
+        if n == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            stdev = math.sqrt(variance)
+            ci95 = t_critical_95(n - 1) * stdev / math.sqrt(n)
+        else:
+            stdev = 0.0
+            ci95 = 0.0
+        return cls(n, mean, stdev, ci95, min(values), max(values))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "ci95": self.ci95,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def render(self) -> str:
+        """``mean`` alone for one seed, ``mean ±ci`` otherwise."""
+        if self.n <= 1:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} ±{self.ci95:.2g}"
+
+
+def merge_metric_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge per-run registry snapshots into one campaign-level view.
+
+    Scalar instruments (counters/gauges) sum across runs; histogram
+    snapshots merge exactly for count/sum-derived mean/min/max, while
+    quantile estimates are count-weighted averages (an approximation —
+    P² markers cannot be merged exactly).
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                slot = merged.setdefault(
+                    name,
+                    {"count": 0, "_sum": 0.0, "min": math.inf, "max": -math.inf,
+                     "_weighted": {}},
+                )
+                count = value.get("count", 0)
+                slot["count"] += count
+                slot["_sum"] += value.get("mean", 0.0) * count
+                if count:
+                    slot["min"] = min(slot["min"], value.get("min", math.inf))
+                    slot["max"] = max(slot["max"], value.get("max", -math.inf))
+                for key, estimate in value.items():
+                    if key.startswith("p") and key not in ("count",):
+                        bucket = slot["_weighted"].setdefault(key, [0.0, 0])
+                        bucket[0] += estimate * count
+                        bucket[1] += count
+            else:
+                merged[name] = merged.get(name, 0.0) + value
+    for name, value in merged.items():
+        if isinstance(value, dict):
+            count = value["count"]
+            value["mean"] = value.pop("_sum") / count if count else 0.0
+            if not count:
+                value["min"] = 0.0
+                value["max"] = 0.0
+            for key, (weighted, total) in value.pop("_weighted").items():
+                value[key] = weighted / total if total else 0.0
+    return merged
+
+
+@dataclass
+class GridPointSummary:
+    """One grid point folded across its seeds."""
+
+    params: Dict[str, Any]
+    seeds: List[int]
+    stats: Dict[str, FieldStats] = field(default_factory=dict)
+    qos_maintained: bool = True
+    label: str = ""
+    metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.seeds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "params": self.params,
+            "seeds": self.seeds,
+            "qos_maintained": self.qos_maintained,
+            "stats": {name: s.as_dict() for name, s in self.stats.items()},
+        }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
+
+
+def aggregate(results: Sequence[RunResult]) -> List[GridPointSummary]:
+    """Fold the seed axis: one summary per grid point, in run order."""
+    groups: Dict[str, List[RunResult]] = {}
+    for result in results:
+        point = {k: v for k, v in result.params.items()}
+        groups.setdefault(canonical_json(point), []).append(result)
+    summaries: List[GridPointSummary] = []
+    for grouped in groups.values():
+        first = grouped[0]
+        numeric: Dict[str, List[float]] = {}
+        qos = True
+        snapshots: List[Dict[str, Any]] = []
+        for result in grouped:
+            for name, value in result.record.items():
+                if isinstance(value, bool):
+                    if name == "qos_maintained":
+                        qos = qos and value
+                elif isinstance(value, (int, float)):
+                    numeric.setdefault(name, []).append(float(value))
+                elif name == "metrics" and isinstance(value, dict):
+                    snapshots.append(value)
+        summaries.append(
+            GridPointSummary(
+                params=dict(first.params),
+                seeds=[r.seed for r in grouped],
+                stats={n: FieldStats.of(v) for n, v in numeric.items()},
+                qos_maintained=qos,
+                label=str(first.record.get("label", "")),
+                metrics=merge_metric_snapshots(snapshots) if snapshots else None,
+            )
+        )
+    return summaries
+
+
+DEFAULT_FIELDS = ("wnic_power_w", "device_power_w")
+
+_FIELD_HEADERS = {
+    "wnic_power_w": "WNIC power (W)",
+    "device_power_w": "device power (W)",
+    "bursts": "bursts",
+    "bytes_received": "bytes",
+    "switchovers": "switchovers",
+}
+
+
+def summary_rows(
+    summaries: Sequence[GridPointSummary],
+    grid_keys: Sequence[str],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+) -> tuple[List[str], List[List[object]]]:
+    """Headers + one row per grid point (mean ±CI per field)."""
+    headers = [*grid_keys]
+    show_seeds = any(s.n > 1 for s in summaries)
+    if show_seeds:
+        headers.append("seeds")
+    for name in fields:
+        headers.append(_FIELD_HEADERS.get(name, name))
+    headers.append("QoS")
+    rows: List[List[object]] = []
+    for summary in summaries:
+        row: List[object] = [summary.params.get(key, "") for key in grid_keys]
+        if show_seeds:
+            row.append(summary.n)
+        for name in fields:
+            stats = summary.stats.get(name)
+            row.append(stats.render() if stats is not None else "-")
+        row.append(summary.qos_maintained)
+        rows.append(row)
+    return headers, rows
+
+
+def summary_table(
+    summaries: Sequence[GridPointSummary],
+    grid_keys: Sequence[str],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table: one row per grid point, mean ±CI per field."""
+    headers, rows = summary_rows(summaries, grid_keys, fields)
+    return format_table(headers, rows, title=title)
+
+
+def campaign_payload(
+    report: CampaignReport,
+    summaries: Optional[Sequence[GridPointSummary]] = None,
+) -> Dict[str, Any]:
+    """JSON-ready artifact: spec, version and aggregated grid points.
+
+    Cache bookkeeping (hit/executed counts) is deliberately excluded so
+    a resumed campaign serialises byte-identically to the original.
+    """
+    if summaries is None:
+        summaries = aggregate(report.results)
+    return {
+        "campaign": report.spec.describe(),
+        "version": report.version,
+        "points": [s.as_dict() for s in summaries],
+    }
+
+
+def dump_json(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_csv(
+    path: str,
+    summaries: Sequence[GridPointSummary],
+    grid_keys: Sequence[str],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+) -> None:
+    """One CSV row per grid point: params, n, then mean/stdev/ci per field."""
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        header = [*grid_keys, "n"]
+        for name in fields:
+            header += [f"{name}_mean", f"{name}_stdev", f"{name}_ci95"]
+        header.append("qos_maintained")
+        writer.writerow(header)
+        for summary in summaries:
+            row: List[object] = [summary.params.get(k, "") for k in grid_keys]
+            row.append(summary.n)
+            for name in fields:
+                stats = summary.stats.get(name)
+                if stats is None:
+                    row += ["", "", ""]
+                else:
+                    row += [stats.mean, stats.stdev, stats.ci95]
+            row.append(summary.qos_maintained)
+            writer.writerow(row)

@@ -1,0 +1,213 @@
+"""Campaign runner: cache lookup, worker-pool fan-out, result assembly.
+
+:func:`run_campaign` expands a :class:`~repro.exp.spec.CampaignSpec`
+into runs, serves every run whose content hash is already in the
+:class:`~repro.exp.store.ResultStore`, and fans the misses out across a
+``multiprocessing`` pool (``jobs=1`` executes in-process).  Results come
+back in expansion order regardless of which worker finished first, so
+``--jobs 1`` and ``--jobs N`` produce byte-identical campaign output —
+each run is a pure function of ``(scenario, params, seed)`` and the
+assembly order is fixed by the spec.
+
+Interrupted campaigns resume for free: completed runs were flushed to
+the store line-by-line, so the next invocation executes only what is
+missing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import package_version
+from repro.exp.scenarios import get_scenario
+from repro.exp.spec import CampaignSpec, RunSpec, canonical_params
+from repro.exp.store import ResultStore
+
+#: Payload shipped to a pool worker: (scenario, params, seed, metrics).
+_WorkItem = Tuple[str, Dict[str, Any], int, bool]
+
+
+@dataclass
+class RunResult:
+    """One run's outcome plus its provenance."""
+
+    spec: RunSpec
+    record: Dict[str, Any]
+    from_cache: bool = False
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.spec.kwargs
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+
+@dataclass
+class CampaignReport:
+    """Everything :func:`run_campaign` hands back to callers."""
+
+    spec: CampaignSpec
+    results: List[RunResult] = field(default_factory=list)
+    cached: int = 0
+    executed: int = 0
+    version: str = ""
+    jobs: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [r.record for r in self.results]
+
+    def status_line(self) -> str:
+        """One-line progress summary (printed to stderr by the CLI)."""
+        return (
+            f"campaign {self.spec.name!r}: {self.total} runs "
+            f"({self.cached} cached, {self.executed} executed, "
+            f"jobs={self.jobs}, version={self.version})"
+        )
+
+
+def execute_run(item: _WorkItem) -> Dict[str, Any]:
+    """Run one scenario and summarise it (top-level: pool-picklable).
+
+    When metrics collection is on, the run gets its own
+    :class:`~repro.obs.ObsSession` registry and the snapshot rides along
+    in the record under ``"metrics"``.
+    """
+    scenario, params, seed, collect_metrics = item
+    fn = get_scenario(scenario)
+    obs = None
+    if collect_metrics:
+        from repro.obs import ObsSession
+
+        obs = ObsSession(collect_metrics=True)
+    result = fn(**params, seed=seed, obs=obs)
+    record = result.summary_record()
+    if obs is not None:
+        record["metrics"] = obs.metrics_snapshot()
+        obs.close()
+    return record
+
+
+def _envelope(spec: RunSpec, record: Dict[str, Any], version: str) -> Dict[str, Any]:
+    """The JSONL line persisted per completed run."""
+    return {
+        "scenario": spec.scenario,
+        "params": canonical_params(spec.kwargs),
+        "seed": spec.seed,
+        "version": version,
+        "record": record,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    obs=None,
+    on_run: Optional[Callable[[RunSpec, bool], None]] = None,
+    refresh: bool = False,
+) -> CampaignReport:
+    """Execute ``spec``, reusing cached runs; return ordered results.
+
+    Parameters
+    ----------
+    store:
+        Result cache; ``None`` disables caching (every run executes).
+    jobs:
+        Worker-pool width.  ``1`` runs in-process (and is the only mode
+        that can thread a tracing ``obs`` session through).
+    obs:
+        Optional :class:`repro.obs.ObsSession` passed to every scenario
+        call — serial mode only, and mutually exclusive with
+        ``spec.collect_metrics`` (per-run registries would fight over
+        the simulator's trace bus).
+    on_run:
+        Optional ``fn(run_spec, from_cache)`` progress callback, invoked
+        in completion order.
+    refresh:
+        Ignore cached results: execute every run and overwrite its store
+        entry (the JSONL stays append-only; the newest line wins).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if obs is not None and jobs != 1:
+        raise ValueError("a shared obs session requires jobs=1")
+    if obs is not None and spec.collect_metrics:
+        raise ValueError(
+            "collect_metrics uses a per-run obs session; "
+            "drop the shared one or the flag"
+        )
+
+    version = package_version()
+    runs = spec.runs()
+    records: List[Optional[Dict[str, Any]]] = [None] * len(runs)
+    hits: List[bool] = [False] * len(runs)
+    pending: List[RunSpec] = []
+    for run in runs:
+        envelope = (
+            store.get(run.key) if store is not None and not refresh else None
+        )
+        if envelope is not None:
+            records[run.index] = envelope["record"]
+            hits[run.index] = True
+            if on_run is not None:
+                on_run(run, True)
+        else:
+            pending.append(run)
+
+    if pending:
+        if jobs == 1:
+            for run in pending:
+                if obs is not None:
+                    obs.begin_run(run.label)
+                    fn = get_scenario(run.scenario)
+                    result = fn(**run.kwargs, seed=run.seed, obs=obs)
+                    record = obs.record(result).summary_record()
+                else:
+                    record = execute_run(
+                        (run.scenario, run.kwargs, run.seed,
+                         run.collect_metrics)
+                    )
+                records[run.index] = record
+                if store is not None:
+                    store.put(run.key, _envelope(run, record, version))
+                if on_run is not None:
+                    on_run(run, False)
+        else:
+            items: List[_WorkItem] = [
+                (run.scenario, run.kwargs, run.seed, run.collect_metrics)
+                for run in pending
+            ]
+            with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+                # imap preserves submission order, so results land at
+                # their run's index no matter which worker finished
+                # first — this is what makes jobs=N output identical to
+                # jobs=1.
+                for run, record in zip(
+                    pending, pool.imap(execute_run, items, chunksize=1)
+                ):
+                    records[run.index] = record
+                    if store is not None:
+                        store.put(run.key, _envelope(run, record, version))
+                    if on_run is not None:
+                        on_run(run, False)
+
+    results = [
+        RunResult(spec=run, record=records[run.index], from_cache=hits[run.index])
+        for run in runs
+    ]
+    return CampaignReport(
+        spec=spec,
+        results=results,
+        cached=sum(hits),
+        executed=len(pending),
+        version=version,
+        jobs=jobs,
+    )

@@ -1,0 +1,50 @@
+"""Scenario registry: the names a campaign spec can refer to.
+
+Campaign specs reference scenarios *by name* so that a run is fully
+described by JSON-serialisable data (name + params + seed) — that is
+what makes the content hash and the worker-pool handoff possible.  The
+registered callable takes the run's params as keyword arguments plus
+``seed`` and ``obs``, and returns a
+:class:`repro.core.scenario.ScenarioResult` (anything with a
+``summary_record()`` method works).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.scenario import (
+    run_hotspot_scenario,
+    run_psm_baseline_scenario,
+    run_unscheduled_scenario,
+)
+
+ScenarioFn = Callable[..., object]
+
+_SCENARIOS: Dict[str, ScenarioFn] = {}
+
+
+def register_scenario(name: str, fn: ScenarioFn) -> None:
+    """Register ``fn`` under ``name`` (idempotent for the same callable)."""
+    existing = _SCENARIOS.get(name)
+    if existing is not None and existing is not fn:
+        raise ValueError(f"scenario {name!r} already registered")
+    _SCENARIOS[name] = fn
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+register_scenario("hotspot", run_hotspot_scenario)
+register_scenario("unscheduled", run_unscheduled_scenario)
+register_scenario("psm-baseline", run_psm_baseline_scenario)

@@ -1,0 +1,206 @@
+"""Campaign specifications: declarative grids of scenario runs.
+
+A :class:`CampaignSpec` names a registered scenario function, a set of
+fixed base parameters, a parameter *grid* (each key swept over a list of
+values) and a seed list.  :meth:`CampaignSpec.runs` expands it into an
+ordered list of :class:`RunSpec` — one per (grid point, seed) — whose
+order is deterministic: grid keys in declaration order, values in
+declaration order, seeds innermost.  That order is the contract the
+cache, the worker pool and the aggregator all rely on.
+
+Every run has a *content hash* (:attr:`RunSpec.key`): the SHA-256 of the
+canonical-JSON encoding of ``{scenario, params, seed, metrics}``.  The
+hash is the run's identity in the on-disk result store, so re-invoking a
+campaign reuses any run whose parameters are unchanged and recomputes
+only what moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exp.grid import expand_grid
+
+
+def canonical_params(value: Any) -> Any:
+    """Normalise a parameter value for hashing (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [canonical_params(v) for v in value]
+    if isinstance(value, list):
+        return [canonical_params(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical_params(v) for k, v in value.items()}
+    return value
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable JSON encoding: sorted keys, no whitespace, ASCII only."""
+    try:
+        return json.dumps(
+            canonical_params(obj),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"campaign parameters must be JSON-serialisable: {exc}"
+        ) from exc
+
+
+def run_key(
+    scenario: str,
+    params: Mapping[str, Any],
+    seed: int,
+    metrics: bool = False,
+) -> str:
+    """Content hash identifying one run in the result store."""
+    payload = canonical_json(
+        {
+            "scenario": scenario,
+            "params": dict(params),
+            "seed": seed,
+            "metrics": bool(metrics),
+        }
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One concrete run: a scenario name, its kwargs, and a seed."""
+
+    scenario: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+    collect_metrics: bool = False
+    #: Index in the campaign's expansion order (not part of the hash).
+    index: int = 0
+    #: Human-readable label, e.g. ``sweep-bursts/20000`` (not hashed).
+    label: str = ""
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        return run_key(
+            self.scenario, dict(self.params), self.seed, self.collect_metrics
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of a whole campaign.
+
+    Parameters
+    ----------
+    name:
+        Campaign name; prefixes run labels and artifact files.
+    scenario:
+        A name registered in :mod:`repro.exp.scenarios`.
+    grid:
+        ``{param: [values...]}`` — every combination is run (declaration
+        order of keys/values fixes the expansion order).
+    base:
+        Fixed keyword arguments applied to every run.
+    seeds:
+        Seeds replicated at every grid point (statistics are computed
+        across them).
+    derive:
+        Optional ``fn(params) -> extra_params`` evaluated per grid point
+        for parameters that are a deterministic function of the swept
+        ones (e.g. a buffer sized from the burst).  Derived values are
+        merged into the run's params and therefore into its hash.
+    collect_metrics:
+        Collect a per-run :class:`repro.obs.MetricsRegistry` snapshot in
+        each worker; the aggregator can merge them per grid point.
+    """
+
+    name: str
+    scenario: str
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+    seeds: Sequence[int] = (0,)
+    derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+    collect_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign needs a name")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        for key, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+            if key in self.base:
+                raise ValueError(f"{key!r} is both a grid axis and a base param")
+        for reserved in ("seed", "obs"):
+            if reserved in self.grid or reserved in self.base:
+                raise ValueError(
+                    f"{reserved!r} is managed by the engine; "
+                    "use `seeds` for replication"
+                )
+
+    @property
+    def grid_keys(self) -> Tuple[str, ...]:
+        return tuple(self.grid)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The expanded grid (base + swept + derived params per point)."""
+        points: List[Dict[str, Any]] = []
+        for swept in expand_grid(self.grid):
+            params = dict(self.base)
+            params.update(swept)
+            if self.derive is not None:
+                derived = self.derive(dict(params))
+                overlap = set(derived) & set(params)
+                if overlap:
+                    raise ValueError(
+                        f"derive() may not override {sorted(overlap)}"
+                    )
+                params.update(derived)
+            points.append(params)
+        return points
+
+    def point_label(self, params: Mapping[str, Any], seed: int) -> str:
+        """Label for one run: ``name/<swept values>[/s<seed>]``."""
+        swept = "-".join(str(params[key]) for key in self.grid) or "point"
+        label = f"{self.name}/{swept}"
+        if len(self.seeds) > 1:
+            label += f"/s{seed}"
+        return label
+
+    def runs(self) -> List[RunSpec]:
+        """Expand into the deterministic, ordered run list."""
+        runs: List[RunSpec] = []
+        for params in self.points():
+            frozen = tuple(sorted(params.items()))
+            for seed in self.seeds:
+                runs.append(
+                    RunSpec(
+                        scenario=self.scenario,
+                        params=frozen,
+                        seed=int(seed),
+                        collect_metrics=self.collect_metrics,
+                        index=len(runs),
+                        label=self.point_label(params, seed),
+                    )
+                )
+        return runs
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary of the spec (for artifact headers)."""
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "base": canonical_params(self.base),
+            "grid": {k: canonical_params(list(v)) for k, v in self.grid.items()},
+            "seeds": [int(s) for s in self.seeds],
+            "collect_metrics": self.collect_metrics,
+        }

@@ -1,0 +1,107 @@
+"""On-disk result store: append-only JSONL keyed by run content hash.
+
+Each completed run is one line in ``<dir>/results.jsonl``::
+
+    {"key": "<sha256>", "scenario": ..., "params": {...}, "seed": ...,
+     "version": "...", "record": {...}}
+
+The store is crash-tolerant by construction: lines are appended and
+flushed one at a time, and a truncated final line (interrupted write)
+is ignored on load — so a killed campaign resumes from its last whole
+result.  Re-putting a key appends a new line; the latest line wins on
+load, which keeps the file append-only while allowing refreshes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultStore:
+    """Cache of completed run envelopes under a campaign directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, RESULTS_FILENAME)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._skipped_lines = 0
+        self._load()
+        self._stream = open(self.path, "a", encoding="utf-8")
+        # A crash mid-append leaves a partial line with no terminator;
+        # close it off so the next append starts on a fresh line (the
+        # malformed line is already ignored by _load).
+        if self._stream.tell() > 0:
+            with open(self.path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    self._stream.write("\n")
+                    self._stream.flush()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    envelope = json.loads(line)
+                    key = envelope["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Tolerate a partial trailing line from an
+                    # interrupted run; anything before it is intact.
+                    self._skipped_lines += 1
+                    continue
+                self._records[key] = envelope
+
+    # -- mapping interface ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored envelope for ``key``, or None on a cache miss."""
+        return self._records.get(key)
+
+    def put(self, key: str, envelope: Dict[str, Any]) -> None:
+        """Persist ``envelope`` under ``key`` (flushed immediately)."""
+        if self._stream.closed:
+            raise ValueError("store is closed")
+        payload = dict(envelope)
+        payload["key"] = key
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self._records[key] = payload
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Malformed lines ignored on load (normally 0, 1 after a crash)."""
+        return self._skipped_lines
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<ResultStore {self.path!r} entries={len(self._records)}>"

@@ -107,6 +107,16 @@ class ObsSession:
         )
         return result
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """JSON-ready registry snapshot, or None when metrics are off.
+
+        Campaign workers (:mod:`repro.exp.runner`) ship this back with
+        each run record so the aggregator can merge per-run metrics.
+        """
+        if self.registry is None:
+            return None
+        return self.registry.as_dict()
+
     # -- teardown ------------------------------------------------------------
 
     def close(self) -> None:

@@ -1,0 +1,130 @@
+"""Seed-axis statistics, metrics merging and artifact rendering."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.exp.aggregate import (
+    FieldStats,
+    aggregate,
+    dump_json,
+    merge_metric_snapshots,
+    summary_table,
+    t_critical_95,
+    write_csv,
+)
+from repro.exp.runner import RunResult
+from repro.exp.spec import RunSpec
+
+
+def make_result(params, seed, record):
+    frozen = tuple(sorted(params.items()))
+    return RunResult(
+        spec=RunSpec(scenario="s", params=frozen, seed=seed), record=record
+    )
+
+
+class TestFieldStats:
+    def test_two_sample_stats_use_t_distribution(self):
+        stats = FieldStats.of([1.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.stdev == math.sqrt(2.0)
+        # df=1 → t=12.706; CI half-width = t * s / sqrt(n)
+        assert stats.ci95 == 12.706 * math.sqrt(2.0) / math.sqrt(2.0)
+        assert (stats.min, stats.max) == (1.0, 3.0)
+
+    def test_single_sample_has_zero_spread(self):
+        stats = FieldStats.of([5.0])
+        assert (stats.stdev, stats.ci95) == (0.0, 0.0)
+        assert stats.render() == "5"
+
+    def test_render_includes_ci_for_replicated_points(self):
+        assert "±" in FieldStats.of([1.0, 2.0]).render()
+
+    def test_t_table(self):
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(30) == 2.042
+        assert t_critical_95(200) == 1.96
+        assert t_critical_95(0) == 0.0
+
+
+class TestAggregate:
+    def results(self):
+        out = []
+        for gain in (1, 2):
+            for seed in (0, 1, 2):
+                out.append(
+                    make_result(
+                        {"gain": gain},
+                        seed,
+                        {
+                            "label": f"g{gain}",
+                            "wnic_power_w": gain + seed * 0.1,
+                            "qos_maintained": seed != 2 or gain != 2,
+                        },
+                    )
+                )
+        return out
+
+    def test_one_summary_per_grid_point_in_order(self):
+        summaries = aggregate(self.results())
+        assert [s.params for s in summaries] == [{"gain": 1}, {"gain": 2}]
+        assert summaries[0].seeds == [0, 1, 2]
+        assert summaries[0].stats["wnic_power_w"].n == 3
+        assert summaries[0].stats["wnic_power_w"].mean == pytest.approx(1.1)
+
+    def test_qos_is_all_seeds(self):
+        summaries = aggregate(self.results())
+        assert summaries[0].qos_maintained is True
+        assert summaries[1].qos_maintained is False
+
+    def test_summary_table_lists_grid_and_fields(self):
+        table = summary_table(
+            aggregate(self.results()), ["gain"], fields=("wnic_power_w",)
+        )
+        assert "gain" in table and "WNIC power (W)" in table
+        assert "seeds" in table  # replicated → seed count column
+        assert "±" in table
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(
+            str(path), aggregate(self.results()), ["gain"],
+            fields=("wnic_power_w",),
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == [
+            "gain", "n",
+            "wnic_power_w_mean", "wnic_power_w_stdev", "wnic_power_w_ci95",
+            "qos_maintained",
+        ]
+        assert len(rows) == 3
+        assert float(rows[1][2]) == pytest.approx(1.1)
+
+    def test_dump_json_sorted_and_stable(self):
+        payload = {"b": 1, "a": [1, 2]}
+        assert dump_json(payload) == json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestMergeMetricSnapshots:
+    def test_counters_sum(self):
+        merged = merge_metric_snapshots(
+            [{"trace.core.grant": 3.0}, {"trace.core.grant": 2.0}]
+        )
+        assert merged["trace.core.grant"] == 5.0
+
+    def test_histograms_merge_exactly_except_quantiles(self):
+        a = {"h": {"count": 2, "mean": 1.0, "min": 0.5, "max": 1.5, "p50": 1.0}}
+        b = {"h": {"count": 6, "mean": 3.0, "min": 2.0, "max": 4.0, "p50": 3.0}}
+        merged = merge_metric_snapshots([a, b])["h"]
+        assert merged["count"] == 8
+        assert merged["mean"] == (2 * 1.0 + 6 * 3.0) / 8
+        assert (merged["min"], merged["max"]) == (0.5, 4.0)
+        # Quantiles are count-weighted approximations.
+        assert merged["p50"] == (2 * 1.0 + 6 * 3.0) / 8
+
+    def test_empty_and_missing_snapshots_ignored(self):
+        assert merge_metric_snapshots([]) == {}
+        assert merge_metric_snapshots([{}, {"c": 1.0}]) == {"c": 1.0}

@@ -1,0 +1,139 @@
+"""Run hashing, campaign-spec expansion and the JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.exp.spec import CampaignSpec, canonical_json, run_key
+from repro.exp.store import ResultStore
+
+
+class TestRunKey:
+    def test_key_independent_of_param_order(self):
+        a = run_key("hotspot", {"x": 1, "y": 2}, seed=0)
+        b = run_key("hotspot", {"y": 2, "x": 1}, seed=0)
+        assert a == b
+
+    def test_key_changes_with_every_identity_component(self):
+        base = run_key("hotspot", {"x": 1}, seed=0)
+        assert run_key("hotspot", {"x": 2}, seed=0) != base
+        assert run_key("hotspot", {"x": 1}, seed=1) != base
+        assert run_key("unscheduled", {"x": 1}, seed=0) != base
+        assert run_key("hotspot", {"x": 1}, seed=0, metrics=True) != base
+
+    def test_tuples_and_lists_hash_alike(self):
+        assert run_key("h", {"ifs": ("wlan",)}, 0) == run_key(
+            "h", {"ifs": ["wlan"]}, 0
+        )
+
+    def test_unserialisable_param_rejected(self):
+        with pytest.raises(TypeError, match="JSON-serialisable"):
+            run_key("h", {"fn": object()}, 0)
+
+    def test_canonical_json_is_stable(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+
+class TestCampaignSpec:
+    def spec(self, **overrides):
+        kwargs = dict(
+            name="c",
+            scenario="hotspot",
+            base={"duration_s": 5.0},
+            grid={"burst_bytes": [10, 20], "n_clients": [1, 2]},
+            seeds=[0, 1],
+        )
+        kwargs.update(overrides)
+        return CampaignSpec(**kwargs)
+
+    def test_expansion_order_grid_major_seeds_inner(self):
+        runs = self.spec().runs()
+        assert len(runs) == 8
+        assert [r.index for r in runs] == list(range(8))
+        # First grid point with both seeds, then the next point.
+        assert runs[0].kwargs["burst_bytes"] == 10
+        assert (runs[0].seed, runs[1].seed) == (0, 1)
+        assert runs[1].kwargs == runs[0].kwargs
+        assert runs[2].kwargs["n_clients"] == 2
+
+    def test_labels_name_swept_values_and_seed(self):
+        runs = self.spec().runs()
+        assert runs[0].label == "c/10-1/s0"
+        assert runs[1].label == "c/10-1/s1"
+        single = self.spec(seeds=[7]).runs()
+        assert single[0].label == "c/10-1"  # seed suffix only when >1 seed
+
+    def test_derived_params_enter_kwargs_and_hash(self):
+        derived = self.spec(
+            derive=lambda p: {"client_buffer_bytes": p["burst_bytes"] * 2}
+        )
+        runs = derived.runs()
+        assert runs[0].kwargs["client_buffer_bytes"] == 20
+        assert runs[0].key != self.spec().runs()[0].key
+
+    def test_derive_may_not_override(self):
+        bad = self.spec(derive=lambda p: {"burst_bytes": 0})
+        with pytest.raises(ValueError, match="override"):
+            bad.runs()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            self.spec(seeds=[])
+        with pytest.raises(ValueError, match="no values"):
+            self.spec(grid={"x": []})
+        with pytest.raises(ValueError, match="both a grid axis"):
+            self.spec(base={"burst_bytes": 1})
+        with pytest.raises(ValueError, match="managed by the engine"):
+            self.spec(base={"seed": 1, "duration_s": 5.0})
+
+    def test_describe_is_json_ready(self):
+        text = json.dumps(self.spec().describe())
+        assert "burst_bytes" in text
+
+
+class TestResultStore:
+    def envelope(self, n):
+        return {"record": {"wnic_power_w": n}, "seed": n}
+
+    def test_roundtrip_and_persistence(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            assert store.get("k1") is None
+            store.put("k1", self.envelope(1))
+            assert store.get("k1")["record"] == {"wnic_power_w": 1}
+        with ResultStore(tmp_path / "s") as reopened:
+            assert len(reopened) == 1
+            assert "k1" in reopened
+            assert reopened.get("k1")["record"]["wnic_power_w"] == 1
+
+    def test_last_write_wins_file_stays_append_only(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put("k", self.envelope(1))
+            store.put("k", self.envelope(2))
+            path = store.path
+        assert len(open(path).readlines()) == 2
+        with ResultStore(tmp_path / "s") as reopened:
+            assert reopened.get("k")["record"]["wnic_power_w"] == 2
+
+    def test_truncated_trailing_line_survives(self, tmp_path):
+        with ResultStore(tmp_path / "s") as store:
+            store.put("k1", self.envelope(1))
+            store.put("k2", self.envelope(2))
+            path = store.path
+        # Simulate a crash mid-append: chop the last line in half.
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) - 17])
+        with ResultStore(tmp_path / "s") as recovered:
+            assert recovered.get("k1")["record"]["wnic_power_w"] == 1
+            assert recovered.get("k2") is None
+            assert recovered.skipped_lines == 1
+            # The store remains writable after recovery.
+            recovered.put("k2", self.envelope(2))
+        with ResultStore(tmp_path / "s") as healed:
+            assert healed.get("k2")["record"]["wnic_power_w"] == 2
+            assert healed.skipped_lines == 1
+
+    def test_put_after_close_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.put("k", self.envelope(0))
