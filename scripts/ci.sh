@@ -6,6 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+echo "== compile gate =="
+python -m compileall -q src
+
 echo "== tier-1 test suite =="
 python -m pytest tests/ -q
 
@@ -60,5 +63,72 @@ grep -q "4 cached, 0 executed" "$campaign_dir/resumed.err" \
 diff "$campaign_dir/parallel.json" "$campaign_dir/resumed.json" \
   || { echo "campaign smoke: resumed output differs"; exit 1; }
 echo "campaign ok: parallel==serial, resume fully cached"
+
+echo "== crash-resume smoke check (failing grid point) =="
+# n_clients=0 raises deterministically; the campaign must still
+# complete, quarantine the failure, and a second invocation must
+# re-execute only the quarantined run (healthy run stays cached).
+failure_dir="$(mktemp -d /tmp/repro-campaign-fail.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir"' EXIT
+failure_args=(campaign --scenario hotspot
+  --param n_clients=0,1 --set duration_s=5
+  --seeds 1 --name ci-failures --json)
+
+python -m repro "${failure_args[@]}" --store "$failure_dir" \
+  > "$failure_dir/first.json" 2> "$failure_dir/first.err"
+grep -q "2 runs (0 cached, 2 executed, 1 failed" "$failure_dir/first.err" \
+  || { echo "failure smoke: expected 1 failed run:"; \
+       cat "$failure_dir/first.err"; exit 1; }
+grep -q "failed: ci-failures/" "$failure_dir/first.err" \
+  || { echo "failure smoke: missing failure attribution line"; exit 1; }
+
+python -m repro "${failure_args[@]}" --store "$failure_dir" \
+  > "$failure_dir/second.json" 2> "$failure_dir/second.err"
+grep -q "2 runs (1 cached, 1 executed, 1 failed" "$failure_dir/second.err" \
+  || { echo "failure smoke: expected only the quarantined run to retry:"; \
+       cat "$failure_dir/second.err"; exit 1; }
+diff "$failure_dir/first.json" "$failure_dir/second.json" \
+  || { echo "failure smoke: partial-result artifacts differ"; exit 1; }
+
+python - "$failure_dir/first.json" <<'EOF'
+import json
+import sys
+
+payload = json.load(open(sys.argv[1]))
+failed = payload["failed_runs"]
+if len(failed) != 1:
+    sys.exit(f"expected exactly 1 failed run, got {len(failed)}")
+error = failed[0]["error"]
+if error["type"] != "ValueError" or "client" not in error["message"]:
+    sys.exit(f"unexpected error envelope: {error}")
+if not any(p["failed"] == 1 for p in payload["points"]):
+    sys.exit("no grid point reports the failure")
+print("failure envelope ok:", error["type"], "-", error["message"])
+EOF
+echo "crash-resume ok: partial results, quarantine retried, envelopes stable"
+
+echo "== faulty-hotspot smoke check =="
+faulty_dir="$(mktemp -d /tmp/repro-faulty.XXXXXX)"
+python -m repro campaign --scenario faulty-hotspot \
+  --set duration_s=60 --set n_clients=2 \
+  --set outage_start_s=20 --set outage_duration_s=15 \
+  --seeds 1 --name ci-faulty --json \
+  --fields wnic_power_w,switchovers,radio_outages \
+  > "$faulty_dir/faulty.json" 2> "$faulty_dir/faulty.err"
+
+python - "$faulty_dir/faulty.json" <<'EOF'
+import json
+import sys
+
+payload = json.load(open(sys.argv[1]))
+point = payload["points"][0]
+if not point["qos_maintained"]:
+    sys.exit("faulty-hotspot: QoS not maintained through the outage")
+if point["stats"]["radio_outages"]["mean"] != 2.0:
+    sys.exit(f"faulty-hotspot: expected 2 radio outages: {point['stats']}")
+if point["stats"]["switchovers"]["mean"] < 2.0:
+    sys.exit("faulty-hotspot: no interface failover happened")
+print("faulty-hotspot ok: QoS held across the WLAN outage with failover")
+EOF
 
 echo "ci.sh: all checks passed"

@@ -40,6 +40,7 @@ from repro.exp import (
     ResultStore,
     aggregate,
     campaign_payload,
+    dumps_strict,
     run_campaign,
     scenario_names,
     summary_rows,
@@ -79,9 +80,27 @@ def _emit_rows(
     original field order.
     """
     if getattr(args, "json", False):
-        print(json.dumps(json_payload, indent=2, sort_keys=sort_json))
+        print(dumps_strict(json_payload, indent=2, sort_keys=sort_json))
     else:
         print(format_table(headers, rows, title=title))
+
+
+def _report_failures(report: CampaignReport) -> None:
+    """One stderr line per failed run: which run, which exception."""
+    for failure in report.failures():
+        error = failure.error or {}
+        print(
+            f"failed: {failure.spec.label}: "
+            f"{error.get('type', '?')}: {error.get('message', '')} "
+            f"(attempts={error.get('attempts', 1)})",
+            file=sys.stderr,
+        )
+    if report.failed:
+        print(
+            f"note: {report.failed} failed run(s) quarantined; "
+            "a re-invocation with the same --store retries only those",
+            file=sys.stderr,
+        )
 
 
 def _run_sweep(args: argparse.Namespace, spec: CampaignSpec) -> CampaignReport:
@@ -200,9 +219,11 @@ def cmd_sweep_schedulers(args: argparse.Namespace) -> int:
         seeds=[args.seed],
     )
     report = _run_sweep(args, spec)
+    _report_failures(report)
     rows = [
         [r.params["scheduler"], r.record["wnic_power_w"], r.record["qos_maintained"]]
         for r in report.results
+        if r.ok
     ]
     _emit_rows(
         args,
@@ -232,6 +253,7 @@ def cmd_sweep_bursts(args: argparse.Namespace) -> int:
         seeds=[args.seed],
     )
     report = _run_sweep(args, spec)
+    _report_failures(report)
     rows = [
         [
             r.params["burst_bytes"],
@@ -239,6 +261,7 @@ def cmd_sweep_bursts(args: argparse.Namespace) -> int:
             r.record["qos_maintained"],
         ]
         for r in report.results
+        if r.ok
     ]
     _emit_rows(
         args,
@@ -306,12 +329,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         store = ResultStore(args.store)
     try:
         report = run_campaign(
-            spec, store=store, jobs=args.jobs, refresh=args.fresh
+            spec,
+            store=store,
+            jobs=args.jobs,
+            refresh=args.fresh,
+            run_timeout_s=args.run_timeout,
+            retries=args.retries,
+            retry_backoff_s=args.retry_backoff,
         )
     finally:
         if store is not None:
             store.close()
     print(report.status_line(), file=sys.stderr)
+    _report_failures(report)
     summaries = aggregate(report.results)
     fields = (
         [f.strip() for f in args.fields.split(",") if f.strip()]
@@ -508,6 +538,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh",
         action="store_true",
         help="ignore cached results (recompute and overwrite the store)",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failing run before it is quarantined",
+    )
+    campaign.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; an over-budget run fails with "
+        "a timeout envelope (POSIX main thread only)",
+    )
+    campaign.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base of the exponential backoff slept between attempts",
     )
     trace_parser = sub.add_parser(
         "trace",

@@ -38,6 +38,7 @@ from repro.core.client import HotspotClient
 from repro.core.server import HotspotServer, InterfaceSelectionPolicy
 from repro.core.scenario import (
     ScenarioResult,
+    run_faulty_hotspot_scenario,
     run_hotspot_scenario,
     run_psm_baseline_scenario,
     run_unscheduled_scenario,
@@ -61,6 +62,7 @@ __all__ = [
     "bluetooth_interface",
     "gprs_interface",
     "make_scheduler",
+    "run_faulty_hotspot_scenario",
     "run_hotspot_scenario",
     "run_psm_baseline_scenario",
     "run_unscheduled_scenario",

@@ -148,6 +148,20 @@ class HotspotClient:
 
     def _burst_body(self, interface_name: str, nbytes: int):
         interface = self.interfaces[interface_name]
+        if not interface.alive:
+            # The WNIC died between scheduling and service: report zero
+            # bytes so the server keeps the backlog and re-schedules the
+            # burst on whatever interface the next round selects.
+            bus = self.sim.trace
+            if bus.enabled:
+                bus.emit(
+                    "core",
+                    self.name,
+                    "burst-abort",
+                    interface=interface_name,
+                    nbytes=nbytes,
+                )
+            return 0
         started = self.sim.now
         yield interface.wake()
         yield interface.transfer(nbytes)
@@ -169,6 +183,16 @@ class HotspotClient:
             )
         yield interface.sleep()
         return nbytes
+
+    # -- churn -------------------------------------------------------------
+
+    def suspend(self) -> None:
+        """The user walked away: pause playback (no underruns accrue)."""
+        self.playout.pause(self.sim.now)
+
+    def resume(self) -> None:
+        """The user came back: playback picks up from the buffered level."""
+        self.playout.resume(self.sim.now)
 
     # -- accounting ---------------------------------------------------------------------
 

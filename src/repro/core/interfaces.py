@@ -81,6 +81,15 @@ class ManagedInterface:
         self.quality = quality
         self.bytes_transferred = 0
         self.bursts = 0
+        #: False while a fault holds the hardware down; dead interfaces
+        #: report zero link quality and refuse bursts, which is what the
+        #: resource manager keys its failover on.
+        self.alive = True
+        #: Multiplier an interference burst applies to the quality signal.
+        self.quality_scale = 1.0
+        self.outages = 0
+        #: (time, event) log of fail/revive edges for post-run analysis.
+        self.outage_log: list = []
         # Serialises state commands so two concurrent wake/sleep calls
         # cannot race the radio's single transition slot.
         self._control = Resource(sim)
@@ -98,8 +107,39 @@ class ManagedInterface:
         )
 
     def quality_at(self, time_s: float) -> float:
-        """Link quality now (1.0 when no signal is configured)."""
-        return self.quality(time_s) if self.quality is not None else 1.0
+        """Link quality now (1.0 when no signal is configured).
+
+        A dead interface reports 0.0 regardless of its signal, and any
+        active interference scales the healthy value down — both feed the
+        server's selection policy, which is how failover happens without
+        the policy knowing about faults at all.
+        """
+        if not self.alive:
+            return 0.0
+        base = self.quality(time_s) if self.quality is not None else 1.0
+        return max(0.0, min(1.0, base * self.quality_scale))
+
+    # -- fault hooks -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Hardware death: zero quality, bursts abort until :meth:`revive`.
+
+        An in-flight transfer is allowed to finish (the radio state
+        machine always completes its wake/transfer/sleep sequence), but
+        any burst *started* while dead delivers nothing.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.outages += 1
+        self.outage_log.append((self.sim.now, "fail"))
+
+    def revive(self) -> None:
+        """The hardware came back; selection may pick it again."""
+        if self.alive:
+            return
+        self.alive = True
+        self.outage_log.append((self.sim.now, "revive"))
 
     def transfer_duration_s(self, nbytes: int) -> float:
         if nbytes < 0:

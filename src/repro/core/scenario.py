@@ -34,6 +34,7 @@ from repro.core.scheduling import BurstScheduler
 from repro.core.server import HotspotServer, InterfaceSelectionPolicy
 from repro.devices import ipaq_3970, wlan_cf_card
 from repro.devices.profiles import DeviceProfile
+from repro.faults import ClientChurn, FaultInjector, FaultPlan, RadioOutage
 from repro.mac import AccessPoint, Medium, PsmStation
 from repro.metrics.energy import ClientEnergyReport
 from repro.metrics.qos import PlayoutBuffer, QosSummary
@@ -66,6 +67,10 @@ class ScenarioResult:
     #: Radios by "client/interface" for timeline rendering.
     radios: Dict[str, Radio] = field(default_factory=dict)
     server: Optional[HotspotServer] = None
+    #: Scenario-specific scalar fields merged into the summary record
+    #: (e.g. fault-injection counters); must stay JSON-serialisable and
+    #: deterministic for a given (params, seed).
+    extras: Dict[str, object] = field(default_factory=dict)
 
     def mean_wnic_power_w(self) -> float:
         """Average per-client WNIC power (the paper's Figure 2 metric)."""
@@ -91,7 +96,7 @@ class ScenarioResult:
         against, persists in its result store, and aggregates across
         seeds — keep fields deterministic for a given (params, seed).
         """
-        return {
+        record: Dict[str, object] = {
             "label": self.label,
             "duration_s": self.duration_s,
             "n_clients": len(self.clients),
@@ -102,6 +107,8 @@ class ScenarioResult:
             "bytes_received": sum(c.bytes_received for c in self.clients),
             "switchovers": sum(c.switchovers for c in self.clients),
         }
+        record.update(self.extras)
+        return record
 
 
 #: MP3 decode keeps the platform busy a modest fraction of the time.
@@ -132,6 +139,8 @@ def run_hotspot_scenario(
     platform: Optional[DeviceProfile] = None,
     interface_policy: Optional[InterfaceSelectionPolicy] = None,
     server_prefetch_s: float = 30.0,
+    fault_plan: Optional[FaultPlan] = None,
+    label: Optional[str] = None,
     obs=None,
 ) -> ScenarioResult:
     """The paper's system: Hotspot-scheduled bursts, interface switching.
@@ -149,6 +158,11 @@ def run_hotspot_scenario(
     ``attach(sim)`` method, e.g. :class:`repro.obs.ObsSession`): it is
     attached to the freshly built simulator before any process starts, so
     the trace covers the whole run.
+
+    ``fault_plan`` injects scheduled failures (radio outages, churn,
+    interference) via a :class:`repro.faults.FaultInjector`; the result's
+    ``extras`` then carry fault/recovery counters into the summary
+    record.
     """
     if n_clients < 1:
         raise ValueError("need at least one client")
@@ -199,6 +213,13 @@ def run_hotspot_scenario(
         source = Mp3Stream(bitrate_bps=bitrate_bps)
         source.start(sim, server.sink_for(name), until_s=duration_s)
     server.start()
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None and len(fault_plan):
+        injector = FaultInjector(sim, fault_plan)
+        for client in clients:
+            injector.bind_client(client)
+        injector.bind_server(server)
+        injector.start()
     sim.run(until=duration_s)
     outcomes = []
     for client in clients:
@@ -215,12 +236,133 @@ def run_hotspot_scenario(
                 interface_log=list(session.interface_log),
             )
         )
+    extras: Dict[str, object] = {}
+    if injector is not None:
+        managed = [
+            interface
+            for client in clients
+            for interface in client.interfaces.values()
+        ]
+        extras = {
+            "faults_injected": injector.injected,
+            "radio_outages": sum(i.outages for i in managed),
+            "bursts_failed": sum(
+                s.bursts_failed for s in server.sessions.values()
+            ),
+        }
     return ScenarioResult(
-        label=f"hotspot[{server.scheduler.name}]",
+        label=label or f"hotspot[{server.scheduler.name}]",
         duration_s=duration_s,
         clients=outcomes,
         radios=radios,
         server=server,
+        extras=extras,
+    )
+
+
+def run_faulty_hotspot_scenario(
+    n_clients: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler: Union[BurstScheduler, str] = "edf",
+    burst_bytes: int = 40_000,
+    client_buffer_bytes: int = 96_000,
+    outage_interface: str = "wlan",
+    outage_start_s: float = 40.0,
+    outage_duration_s: float = 30.0,
+    churn_clients: int = 0,
+    interference_rate_per_min: float = 0.0,
+    epoch_s: float = 0.25,
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    server_prefetch_s: float = 30.0,
+    obs=None,
+) -> ScenarioResult:
+    """The Hotspot under stress: mid-stream radio death with failover.
+
+    Clients run WLAN-first (reversing the healthy scenario's
+    Bluetooth-first preference so the *expensive* radio carries the
+    stream), then every client's ``outage_interface`` dies at
+    ``outage_start_s`` for ``outage_duration_s``.  The resource manager
+    must detect the dead interface, fail each client over to the
+    surviving radio (the paper's dual-radio selection, now exercised
+    under stress), and re-schedule the bursts the outage swallowed —
+    QoS must hold throughout.
+
+    Optional extra stress, all drawn from seeded ``faults/*`` substreams
+    so identical seeds give byte-identical runs:
+
+    - ``churn_clients``: that many clients leave mid-stream and rejoin
+      (scheduling pauses, playback suspends, no underruns accrue);
+    - ``interference_rate_per_min``: Poisson interference bursts that
+      collapse link quality on the backup interface.
+    """
+    if outage_start_s < 0:
+        raise ValueError("outage start must be >= 0")
+    if outage_duration_s < 0:
+        raise ValueError("outage duration must be >= 0")
+    if not 0 <= churn_clients <= n_clients:
+        raise ValueError("churn_clients must be in [0, n_clients]")
+    streams = RandomStreams(seed=seed)
+    plan = FaultPlan()
+    if outage_duration_s > 0:
+        plan.add(
+            RadioOutage(
+                target=f"*/{outage_interface}",
+                start_s=outage_start_s,
+                duration_s=outage_duration_s,
+            )
+        )
+    for index in range(churn_clients):
+        name = f"client{index}"
+        leave = streams.uniform(
+            f"faults/churn/{name}", 0.15 * duration_s, 0.45 * duration_s
+        )
+        away = streams.uniform(
+            f"faults/churn/{name}", 0.10 * duration_s, 0.25 * duration_s
+        )
+        plan.add(ClientChurn(client=name, leave_s=leave, rejoin_s=leave + away))
+    if interference_rate_per_min > 0:
+        backup = "bluetooth" if outage_interface == "wlan" else "wlan"
+        plan = FaultPlan(
+            plan.faults
+            + FaultPlan.random(
+                streams,
+                duration_s,
+                interface_names=[
+                    f"client{i}/{backup}" for i in range(n_clients)
+                ],
+                outage_rate_per_min=0.0,
+                interference_rate_per_min=interference_rate_per_min,
+            ).faults
+        )
+    policy = InterfaceSelectionPolicy(
+        preference=(outage_interface,)
+        + tuple(
+            name
+            for name in ("bluetooth", "wlan", "gprs")
+            if name != outage_interface
+        )
+    )
+    scheduler_name = (
+        scheduler if isinstance(scheduler, str) else scheduler.name
+    )
+    return run_hotspot_scenario(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        bitrate_bps=bitrate_bps,
+        scheduler=scheduler,
+        burst_bytes=burst_bytes,
+        client_buffer_bytes=client_buffer_bytes,
+        interfaces=("bluetooth", "wlan"),
+        epoch_s=epoch_s,
+        seed=seed,
+        platform=platform,
+        interface_policy=policy,
+        server_prefetch_s=server_prefetch_s,
+        fault_plan=plan,
+        label=f"faulty-hotspot[{scheduler_name}]",
+        obs=obs,
     )
 
 

@@ -70,8 +70,14 @@ class InterfaceSelectionPolicy:
         candidates += [
             name for name in client.interfaces if name not in candidates
         ]
+        # Dead interfaces (radio outage) are never eligible while any
+        # alternative lives — this is the WLAN<->Bluetooth failover path.
+        alive = [
+            name for name in candidates if client.interfaces[name].alive
+        ]
+        pool = alive or candidates
         required_rate = client.contract.stream_rate_bps * self.rate_margin
-        for name in candidates:
+        for name in pool:
             interface = client.interfaces[name]
             if (
                 interface.quality_at(now) >= self.quality_threshold
@@ -79,9 +85,7 @@ class InterfaceSelectionPolicy:
             ):
                 return name
         # Nothing qualifies cleanly: fall back to the best link available.
-        return max(
-            candidates, key=lambda n: client.interfaces[n].quality_at(now)
-        )
+        return max(pool, key=lambda n: client.interfaces[n].quality_at(now))
 
 
 @dataclass
@@ -94,6 +98,10 @@ class ClientSession:
     switchovers: int = 0
     bursts_served: int = 0
     bytes_served: int = 0
+    #: True while the client is away (churn); no bursts are scheduled.
+    paused: bool = False
+    #: Bursts that delivered nothing because the interface was dead.
+    bursts_failed: int = 0
     interface_log: List[tuple[float, str]] = field(default_factory=list)
 
 
@@ -215,6 +223,38 @@ class HotspotServer:
 
         return sink
 
+    # -- churn -----------------------------------------------------------------
+
+    def pause_client(self, client_name: str) -> None:
+        """The client left mid-stream: stop scheduling it, pause playback.
+
+        Its proxy backlog keeps accruing (the stream source does not
+        know), bounded by the client buffer clamp at serve time.
+        """
+        session = self.sessions.get(client_name)
+        if session is None:
+            raise KeyError(f"unknown client {client_name!r}")
+        if session.paused:
+            return
+        session.paused = True
+        session.client.suspend()
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("core", client_name, "client-paused")
+
+    def resume_client(self, client_name: str) -> None:
+        """The client rejoined: schedule its bursts again."""
+        session = self.sessions.get(client_name)
+        if session is None:
+            raise KeyError(f"unknown client {client_name!r}")
+        if not session.paused:
+            return
+        session.paused = False
+        session.client.resume()
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("core", client_name, "client-resumed")
+
     # -- the scheduling engine ---------------------------------------------------------
 
     def start(self):
@@ -262,6 +302,8 @@ class HotspotServer:
         now = self.sim.now
         for session in self.sessions.values():
             client = session.client
+            if session.paused:
+                continue
             self._update_interface(session, now)
             if session.backlog_bytes <= 0:
                 continue
@@ -318,6 +360,8 @@ class HotspotServer:
     def _serve_channel(self, channel: str, requests: List[BurstRequest]):
         for request in requests:
             session = self.sessions[request.client]
+            if session.paused or session.interface is None:
+                continue  # the client churned away since the round started
             # Re-clamp to the space left when the burst actually starts.
             space = session.client.buffer_space_bytes()
             nbytes = min(request.nbytes, session.backlog_bytes, space)
@@ -339,12 +383,21 @@ class HotspotServer:
                         request.deadline_s - self.sim.now if finite else None
                     ),
                 )
-            yield session.client.execute_burst(session.interface, nbytes)
-            session.backlog_bytes -= nbytes
+            # The client reports how much actually landed: a burst on an
+            # interface a fault killed mid-round delivers zero, the
+            # backlog stays, and the next round's selection re-schedules
+            # it on the surviving interface.
+            delivered = yield session.client.execute_burst(
+                session.interface, nbytes
+            )
+            if not delivered:
+                session.bursts_failed += 1
+                continue
+            session.backlog_bytes -= delivered
             session.bursts_served += 1
-            session.bytes_served += nbytes
+            session.bytes_served += delivered
             self.bursts_served += 1
-            self.bytes_served += nbytes
+            self.bytes_served += delivered
 
     def __repr__(self) -> str:
         return (

@@ -47,7 +47,17 @@ from repro.exp.aggregate import (
     write_csv,
 )
 from repro.exp.grid import expand_grid, grid_size
-from repro.exp.runner import CampaignReport, RunResult, execute_run, run_campaign
+from repro.exp.jsonio import dumps_strict, sanitize_nonfinite
+from repro.exp.runner import (
+    CampaignReport,
+    RunResult,
+    RunTimeoutError,
+    error_envelope,
+    execute_run,
+    execute_run_guarded,
+    guarded_call,
+    run_campaign,
+)
 from repro.exp.scenarios import (
     get_scenario,
     register_scenario,
@@ -71,13 +81,19 @@ __all__ = [
     "ResultStore",
     "RunResult",
     "RunSpec",
+    "RunTimeoutError",
     "aggregate",
     "campaign_payload",
     "canonical_json",
     "canonical_params",
     "dump_json",
+    "dumps_strict",
+    "error_envelope",
     "execute_run",
+    "execute_run_guarded",
     "expand_grid",
+    "guarded_call",
+    "sanitize_nonfinite",
     "get_scenario",
     "grid_size",
     "merge_metric_snapshots",

@@ -12,13 +12,14 @@ bytes (the property the CI resume check diffs on).
 from __future__ import annotations
 
 import csv
-import json
 import math
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.exp.jsonio import dumps_strict
 from repro.exp.runner import CampaignReport, RunResult
-from repro.exp.spec import canonical_json
+from repro.exp.spec import canonical_json, canonical_params
 from repro.metrics.report import format_table
 
 #: Two-sided 95 % Student-t critical values by degrees of freedom; the
@@ -83,6 +84,13 @@ class FieldStats:
         return f"{self.mean:.4g} ±{self.ci95:.2g}"
 
 
+#: Quantile estimate keys in a histogram snapshot: exactly ``p<digits>``
+#: (``p50``, ``p99``...).  A bare prefix match would swallow any future
+#: field that merely starts with "p" (``peak``, ``pending``...) into the
+#: count-weighted quantile average.
+_QUANTILE_KEY = re.compile(r"^p\d+$")
+
+
 def merge_metric_snapshots(
     snapshots: Sequence[Dict[str, Any]],
 ) -> Dict[str, Any]:
@@ -111,7 +119,7 @@ def merge_metric_snapshots(
                     slot["min"] = min(slot["min"], value.get("min", math.inf))
                     slot["max"] = max(slot["max"], value.get("max", -math.inf))
                 for key, estimate in value.items():
-                    if key.startswith("p") and key not in ("count",):
+                    if _QUANTILE_KEY.match(key):
                         bucket = slot["_weighted"].setdefault(key, [0.0, 0])
                         bucket[0] += estimate * count
                         bucket[1] += count
@@ -139,6 +147,9 @@ class GridPointSummary:
     qos_maintained: bool = True
     label: str = ""
     metrics: Optional[Dict[str, Any]] = None
+    #: Runs at this grid point that ended in an error envelope; their
+    #: seeds are excluded from ``seeds``/``stats``.
+    failed: int = 0
 
     @property
     def n(self) -> int:
@@ -149,6 +160,7 @@ class GridPointSummary:
             "params": self.params,
             "seeds": self.seeds,
             "qos_maintained": self.qos_maintained,
+            "failed": self.failed,
             "stats": {name: s.as_dict() for name, s in self.stats.items()},
         }
         if self.metrics is not None:
@@ -157,7 +169,12 @@ class GridPointSummary:
 
 
 def aggregate(results: Sequence[RunResult]) -> List[GridPointSummary]:
-    """Fold the seed axis: one summary per grid point, in run order."""
+    """Fold the seed axis: one summary per grid point, in run order.
+
+    Failed runs (non-None ``error``) are excluded from the statistics
+    and counted per grid point instead; a point whose every run failed
+    reports ``qos_maintained=False`` — nothing demonstrated QoS there.
+    """
     groups: Dict[str, List[RunResult]] = {}
     for result in results:
         point = {k: v for k, v in result.params.items()}
@@ -165,10 +182,12 @@ def aggregate(results: Sequence[RunResult]) -> List[GridPointSummary]:
     summaries: List[GridPointSummary] = []
     for grouped in groups.values():
         first = grouped[0]
+        healthy = [r for r in grouped if r.error is None]
+        failed = len(grouped) - len(healthy)
         numeric: Dict[str, List[float]] = {}
-        qos = True
+        qos = bool(healthy)
         snapshots: List[Dict[str, Any]] = []
-        for result in grouped:
+        for result in healthy:
             for name, value in result.record.items():
                 if isinstance(value, bool):
                     if name == "qos_maintained":
@@ -177,14 +196,16 @@ def aggregate(results: Sequence[RunResult]) -> List[GridPointSummary]:
                     numeric.setdefault(name, []).append(float(value))
                 elif name == "metrics" and isinstance(value, dict):
                     snapshots.append(value)
+        label = str(healthy[0].record.get("label", "")) if healthy else ""
         summaries.append(
             GridPointSummary(
                 params=dict(first.params),
-                seeds=[r.seed for r in grouped],
+                seeds=[r.seed for r in healthy],
                 stats={n: FieldStats.of(v) for n, v in numeric.items()},
                 qos_maintained=qos,
-                label=str(first.record.get("label", "")),
+                label=label,
                 metrics=merge_metric_snapshots(snapshots) if snapshots else None,
+                failed=failed,
             )
         )
     return summaries
@@ -209,11 +230,14 @@ def summary_rows(
     """Headers + one row per grid point (mean ±CI per field)."""
     headers = [*grid_keys]
     show_seeds = any(s.n > 1 for s in summaries)
+    show_failed = any(s.failed for s in summaries)
     if show_seeds:
         headers.append("seeds")
     for name in fields:
         headers.append(_FIELD_HEADERS.get(name, name))
     headers.append("QoS")
+    if show_failed:
+        headers.append("failed")
     rows: List[List[object]] = []
     for summary in summaries:
         row: List[object] = [summary.params.get(key, "") for key in grid_keys]
@@ -223,6 +247,8 @@ def summary_rows(
             stats = summary.stats.get(name)
             row.append(stats.render() if stats is not None else "-")
         row.append(summary.qos_maintained)
+        if show_failed:
+            row.append(summary.failed)
         rows.append(row)
     return headers, rows
 
@@ -253,11 +279,31 @@ def campaign_payload(
         "campaign": report.spec.describe(),
         "version": report.version,
         "points": [s.as_dict() for s in summaries],
+        # Per-run failure attribution (empty when everything passed).
+        # Envelopes are deterministic — same code, same failure, same
+        # bytes — so a resumed campaign with the same still-failing run
+        # serialises identically to the original.
+        "failed_runs": [
+            {
+                "scenario": r.spec.scenario,
+                "params": canonical_params(r.spec.kwargs),
+                "seed": r.spec.seed,
+                "error": r.error,
+            }
+            for r in report.results
+            if r.error is not None
+        ],
     }
 
 
-def dump_json(payload: Dict[str, Any]) -> str:
-    return json.dumps(payload, indent=2, sort_keys=True)
+def dump_json(payload: Dict[str, Any], nonfinite: str = "sanitize") -> str:
+    """Strict RFC 8259 serialisation of a campaign artifact.
+
+    Non-finite floats become ``null`` by default (``nonfinite="raise"``
+    refuses instead); ``json.dumps``'s ``NaN``/``Infinity`` literals
+    would make the artifact unreadable to strict parsers.
+    """
+    return dumps_strict(payload, nonfinite=nonfinite, indent=2, sort_keys=True)
 
 
 def write_csv(
@@ -272,7 +318,7 @@ def write_csv(
         header = [*grid_keys, "n"]
         for name in fields:
             header += [f"{name}_mean", f"{name}_stdev", f"{name}_ci95"]
-        header.append("qos_maintained")
+        header += ["qos_maintained", "failed"]
         writer.writerow(header)
         for summary in summaries:
             row: List[object] = [summary.params.get(k, "") for k in grid_keys]
@@ -283,5 +329,5 @@ def write_csv(
                     row += ["", "", ""]
                 else:
                     row += [stats.mean, stats.stdev, stats.ci95]
-            row.append(summary.qos_maintained)
+            row += [summary.qos_maintained, summary.failed]
             writer.writerow(row)

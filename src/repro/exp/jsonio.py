@@ -1,0 +1,55 @@
+"""Strict JSON emission: no ``NaN``/``Infinity`` ever reaches disk.
+
+Python's ``json.dumps`` defaults to ``allow_nan=True`` and emits the
+JavaScript literals ``NaN``/``Infinity``/``-Infinity`` — which are not
+JSON (RFC 8259) and break strict parsers (``jq``, browsers, most
+non-Python tooling) on artifacts that are supposed to be
+machine-readable.  Everything the experiment engine persists (store
+envelopes, campaign payloads) goes through :func:`dumps_strict`, which
+either *sanitises* non-finite floats to ``null`` or *raises*, per the
+caller's policy — never emits invalid JSON silently.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+#: Allowed values for the ``nonfinite`` policy argument.
+NONFINITE_POLICIES = ("sanitize", "raise")
+
+
+def sanitize_nonfinite(obj: Any) -> Any:
+    """Copy ``obj`` with every non-finite float replaced by ``None``.
+
+    Recurses through dicts/lists/tuples; everything else (including
+    bools, which are ints, not floats) passes through untouched.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {key: sanitize_nonfinite(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_nonfinite(value) for value in obj]
+    return obj
+
+
+def dumps_strict(obj: Any, nonfinite: str = "sanitize", **kwargs: Any) -> str:
+    """``json.dumps`` that is guaranteed to emit valid RFC 8259 JSON.
+
+    ``nonfinite="sanitize"`` maps NaN/±Infinity to ``null`` (lossy but
+    parseable everywhere); ``nonfinite="raise"`` propagates the
+    ``ValueError`` so the caller can refuse to persist the payload.
+    Keyword arguments are forwarded to ``json.dumps``.
+    """
+    if nonfinite not in NONFINITE_POLICIES:
+        raise ValueError(
+            f"nonfinite must be one of {NONFINITE_POLICIES}, got {nonfinite!r}"
+        )
+    try:
+        return json.dumps(obj, allow_nan=False, **kwargs)
+    except ValueError:
+        if nonfinite == "raise":
+            raise
+        return json.dumps(sanitize_nonfinite(obj), allow_nan=False, **kwargs)

@@ -12,11 +12,29 @@ assembly order is fixed by the spec.
 Interrupted campaigns resume for free: completed runs were flushed to
 the store line-by-line, so the next invocation executes only what is
 missing.
+
+Failure semantics
+-----------------
+A raising run no longer aborts the campaign.  Each run executes behind
+a guard that converts exceptions into a structured *error envelope*
+(exception type, message, shortened traceback) and the campaign
+completes with partial results; :func:`~repro.exp.aggregate.aggregate`
+folds only the healthy runs and reports the failed count.  Failed runs
+are *quarantined* in the store: their envelope is persisted (so the
+failure is attributable after the fact) but never served as a cache
+hit — the next invocation retries exactly the quarantined runs while
+healthy runs stay cached.  Optional per-run wall-clock timeouts
+(SIGALRM-based, main-thread POSIX only) and in-worker retries with
+exponential backoff handle hangs and transient faults.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
+import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -28,14 +46,33 @@ from repro.exp.store import ResultStore
 #: Payload shipped to a pool worker: (scenario, params, seed, metrics).
 _WorkItem = Tuple[str, Dict[str, Any], int, bool]
 
+#: Work item plus its failure policy: (item, timeout_s, retries, backoff_s).
+_GuardedItem = Tuple[_WorkItem, Optional[float], int, float]
+
+#: Traceback frames kept in an error envelope (innermost last).
+_TRACEBACK_FRAMES = 4
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded its wall-clock budget."""
+
 
 @dataclass
 class RunResult:
-    """One run's outcome plus its provenance."""
+    """One run's outcome plus its provenance.
+
+    Exactly one of ``record`` / ``error`` is meaningful: a failed run
+    carries an empty record and a non-None error envelope.
+    """
 
     spec: RunSpec
     record: Dict[str, Any]
     from_cache: bool = False
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def params(self) -> Dict[str, Any]:
@@ -54,6 +91,8 @@ class CampaignReport:
     results: List[RunResult] = field(default_factory=list)
     cached: int = 0
     executed: int = 0
+    failed: int = 0
+    quarantined: int = 0
     version: str = ""
     jobs: int = 1
 
@@ -64,12 +103,17 @@ class CampaignReport:
     def records(self) -> List[Dict[str, Any]]:
         return [r.record for r in self.results]
 
+    def failures(self) -> List[RunResult]:
+        """The failed runs, in expansion order."""
+        return [r for r in self.results if r.error is not None]
+
     def status_line(self) -> str:
         """One-line progress summary (printed to stderr by the CLI)."""
         return (
             f"campaign {self.spec.name!r}: {self.total} runs "
             f"({self.cached} cached, {self.executed} executed, "
-            f"jobs={self.jobs}, version={self.version})"
+            f"{self.failed} failed, jobs={self.jobs}, "
+            f"version={self.version})"
         )
 
 
@@ -78,7 +122,9 @@ def execute_run(item: _WorkItem) -> Dict[str, Any]:
 
     When metrics collection is on, the run gets its own
     :class:`~repro.obs.ObsSession` registry and the snapshot rides along
-    in the record under ``"metrics"``.
+    in the record under ``"metrics"``.  The session is closed on every
+    exit path — a raising scenario must not leave its collector attached
+    to a shared trace bus.
     """
     scenario, params, seed, collect_metrics = item
     fn = get_scenario(scenario)
@@ -87,12 +133,101 @@ def execute_run(item: _WorkItem) -> Dict[str, Any]:
         from repro.obs import ObsSession
 
         obs = ObsSession(collect_metrics=True)
-    result = fn(**params, seed=seed, obs=obs)
-    record = result.summary_record()
-    if obs is not None:
-        record["metrics"] = obs.metrics_snapshot()
-        obs.close()
-    return record
+    try:
+        result = fn(**params, seed=seed, obs=obs)
+        record = result.summary_record()
+        if obs is not None:
+            record["metrics"] = obs.metrics_snapshot()
+        return record
+    finally:
+        if obs is not None:
+            obs.close()
+
+
+def error_envelope(exc: BaseException, attempts: int = 1) -> Dict[str, Any]:
+    """Structured, JSON-able description of a run failure.
+
+    Traceback frames are shortened to ``filename:lineno in function``
+    (basenames only) so the envelope is stable across checkouts and
+    byte-identical between serial and parallel execution.
+    """
+    frames = traceback.extract_tb(exc.__traceback__)
+    summary = [
+        f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+        for frame in frames[-_TRACEBACK_FRAMES:]
+    ]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": summary,
+        "attempts": attempts,
+    }
+
+
+def _call_with_timeout(fn: Callable[[], Any], timeout_s: Optional[float]) -> Any:
+    """Run ``fn`` under a SIGALRM wall-clock budget when possible.
+
+    Timeouts need SIGALRM and the main thread; anywhere else (Windows,
+    worker threads) the call runs unbounded rather than failing — the
+    budget is best-effort protection, not a correctness contract.
+    """
+    if not timeout_s or timeout_s <= 0:
+        return fn()
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return fn()
+
+    def _on_alarm(signum, frame):  # pragma: no cover - trivial
+        raise RunTimeoutError(f"run exceeded {timeout_s:g}s wall-clock")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def guarded_call(
+    fn: Callable[[], Dict[str, Any]],
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Run ``fn`` to an outcome dict: ``{"record": ...}`` or ``{"error": ...}``.
+
+    ``retries`` extra attempts are made after a failure, sleeping
+    ``backoff_s * 2**(attempt-1)`` between them (exponential backoff).
+    KeyboardInterrupt/SystemExit always propagate — a user abort must
+    not be recorded as a run failure.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return {"record": _call_with_timeout(fn, timeout_s)}
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if attempts <= retries:
+                if backoff_s > 0:
+                    time.sleep(backoff_s * (2 ** (attempts - 1)))
+                continue
+            return {"error": error_envelope(exc, attempts=attempts)}
+
+
+def execute_run_guarded(guarded: _GuardedItem) -> Dict[str, Any]:
+    """Pool-picklable wrapper: :func:`execute_run` behind the guard."""
+    item, timeout_s, retries, backoff_s = guarded
+    return guarded_call(
+        lambda: execute_run(item),
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+    )
 
 
 def _envelope(spec: RunSpec, record: Dict[str, Any], version: str) -> Dict[str, Any]:
@@ -106,6 +241,20 @@ def _envelope(spec: RunSpec, record: Dict[str, Any], version: str) -> Dict[str, 
     }
 
 
+def _failure_envelope(
+    spec: RunSpec, error: Dict[str, Any], version: str
+) -> Dict[str, Any]:
+    """The JSONL line persisted per *failed* run (quarantine entry).
+
+    Same shape as a success envelope with ``record`` null and the error
+    attached, so store consumers can distinguish the two by the
+    ``error`` key alone.
+    """
+    envelope = _envelope(spec, None, version)  # type: ignore[arg-type]
+    envelope["error"] = error
+    return envelope
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: Optional[ResultStore] = None,
@@ -113,6 +262,9 @@ def run_campaign(
     obs=None,
     on_run: Optional[Callable[[RunSpec, bool], None]] = None,
     refresh: bool = False,
+    run_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.0,
 ) -> CampaignReport:
     """Execute ``spec``, reusing cached runs; return ordered results.
 
@@ -134,9 +286,25 @@ def run_campaign(
     refresh:
         Ignore cached results: execute every run and overwrite its store
         entry (the JSONL stays append-only; the newest line wins).
+    run_timeout_s:
+        Per-run wall-clock budget in seconds (None = unbounded).  A run
+        over budget fails with a :class:`RunTimeoutError` envelope.
+    retries:
+        Extra attempts per failing run before its failure is recorded.
+    retry_backoff_s:
+        Base of the exponential backoff slept between attempts.
+
+    A failing run never aborts the campaign: its error envelope lands in
+    the matching :class:`RunResult` (and, when a store is present, in a
+    quarantine line that is retried — not served — by the next
+    invocation).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise ValueError("retry backoff must be >= 0")
     if obs is not None and jobs != 1:
         raise ValueError("a shared obs session requires jobs=1")
     if obs is not None and spec.collect_metrics:
@@ -148,41 +316,71 @@ def run_campaign(
     version = package_version()
     runs = spec.runs()
     records: List[Optional[Dict[str, Any]]] = [None] * len(runs)
+    errors: List[Optional[Dict[str, Any]]] = [None] * len(runs)
     hits: List[bool] = [False] * len(runs)
     pending: List[RunSpec] = []
+    quarantined = 0
     for run in runs:
         envelope = (
             store.get(run.key) if store is not None and not refresh else None
         )
-        if envelope is not None:
+        if envelope is not None and envelope.get("error") is None:
             records[run.index] = envelope["record"]
             hits[run.index] = True
             if on_run is not None:
                 on_run(run, True)
         else:
+            if envelope is not None:
+                # Quarantined failure from a previous invocation: never
+                # a cache hit — the run is retried now.
+                quarantined += 1
             pending.append(run)
+
+    def absorb(run: RunSpec, outcome: Dict[str, Any]) -> None:
+        error = outcome.get("error")
+        if error is None:
+            records[run.index] = outcome["record"]
+            if store is not None:
+                store.put(run.key, _envelope(run, outcome["record"], version))
+        else:
+            errors[run.index] = error
+            if store is not None:
+                store.put(run.key, _failure_envelope(run, error, version))
+        if on_run is not None:
+            on_run(run, False)
 
     if pending:
         if jobs == 1:
             for run in pending:
                 if obs is not None:
-                    obs.begin_run(run.label)
-                    fn = get_scenario(run.scenario)
-                    result = fn(**run.kwargs, seed=run.seed, obs=obs)
-                    record = obs.record(result).summary_record()
-                else:
-                    record = execute_run(
-                        (run.scenario, run.kwargs, run.seed,
-                         run.collect_metrics)
+                    def shared_obs_run(run: RunSpec = run) -> Dict[str, Any]:
+                        obs.begin_run(run.label)
+                        try:
+                            fn = get_scenario(run.scenario)
+                            result = fn(**run.kwargs, seed=run.seed, obs=obs)
+                            return obs.record(result).summary_record()
+                        finally:
+                            # A raising scenario must not leave its
+                            # label on subsequent runs' trace lines.
+                            obs.end_run()
+
+                    outcome = guarded_call(
+                        shared_obs_run,
+                        timeout_s=run_timeout_s,
+                        retries=retries,
+                        backoff_s=retry_backoff_s,
                     )
-                records[run.index] = record
-                if store is not None:
-                    store.put(run.key, _envelope(run, record, version))
-                if on_run is not None:
-                    on_run(run, False)
+                else:
+                    outcome = execute_run_guarded((
+                        (run.scenario, run.kwargs, run.seed,
+                         run.collect_metrics),
+                        run_timeout_s, retries, retry_backoff_s,
+                    ))
+                absorb(run, outcome)
         else:
-            items: List[_WorkItem] = [
-                (run.scenario, run.kwargs, run.seed, run.collect_metrics)
+            items: List[_GuardedItem] = [
+                ((run.scenario, run.kwargs, run.seed, run.collect_metrics),
+                 run_timeout_s, retries, retry_backoff_s)
                 for run in pending
             ]
             with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
@@ -190,17 +388,18 @@ def run_campaign(
                 # their run's index no matter which worker finished
                 # first — this is what makes jobs=N output identical to
                 # jobs=1.
-                for run, record in zip(
-                    pending, pool.imap(execute_run, items, chunksize=1)
+                for run, outcome in zip(
+                    pending, pool.imap(execute_run_guarded, items, chunksize=1)
                 ):
-                    records[run.index] = record
-                    if store is not None:
-                        store.put(run.key, _envelope(run, record, version))
-                    if on_run is not None:
-                        on_run(run, False)
+                    absorb(run, outcome)
 
     results = [
-        RunResult(spec=run, record=records[run.index], from_cache=hits[run.index])
+        RunResult(
+            spec=run,
+            record=records[run.index] or {},
+            from_cache=hits[run.index],
+            error=errors[run.index],
+        )
         for run in runs
     ]
     return CampaignReport(
@@ -208,6 +407,8 @@ def run_campaign(
         results=results,
         cached=sum(hits),
         executed=len(pending),
+        failed=sum(1 for e in errors if e is not None),
+        quarantined=quarantined,
         version=version,
         jobs=jobs,
     )

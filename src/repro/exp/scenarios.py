@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.core.scenario import (
+    run_faulty_hotspot_scenario,
     run_hotspot_scenario,
     run_psm_baseline_scenario,
     run_unscheduled_scenario,
@@ -46,5 +47,6 @@ def scenario_names() -> List[str]:
 
 
 register_scenario("hotspot", run_hotspot_scenario)
+register_scenario("faulty-hotspot", run_faulty_hotspot_scenario)
 register_scenario("unscheduled", run_unscheduled_scenario)
 register_scenario("psm-baseline", run_psm_baseline_scenario)

@@ -18,6 +18,8 @@ import json
 import os
 from typing import Any, Dict, Iterator, Optional
 
+from repro.exp.jsonio import dumps_strict
+
 RESULTS_FILENAME = "results.jsonl"
 
 
@@ -67,12 +69,17 @@ class ResultStore:
         return self._records.get(key)
 
     def put(self, key: str, envelope: Dict[str, Any]) -> None:
-        """Persist ``envelope`` under ``key`` (flushed immediately)."""
+        """Persist ``envelope`` under ``key`` (flushed immediately).
+
+        Serialised strictly (RFC 8259): a non-finite float in a record
+        becomes ``null`` rather than a ``NaN`` literal that would break
+        every non-Python consumer of the JSONL.
+        """
         if self._stream.closed:
             raise ValueError("store is closed")
         payload = dict(envelope)
         payload["key"] = key
-        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._stream.write(dumps_strict(payload, sort_keys=True) + "\n")
         self._stream.flush()
         os.fsync(self._stream.fileno())
         self._records[key] = payload

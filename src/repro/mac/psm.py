@@ -81,7 +81,11 @@ class AccessPoint(DcfStation):
         self._ps_stations: set[str] = set()
         self._buffers: Dict[str, Deque[Tuple[Frame, Event]]] = {}
         self.beacons_sent = 0
+        self.beacons_suppressed = 0
         self.ps_polls_served = 0
+        #: While True the beacon loop skips TBTTs (AP outage injection);
+        #: dozing stations ride their beacon_timeout_s fallback.
+        self._beacons_suppressed = False
         if beacons_enabled:
             sim.process(self._beacon_loop(), name=f"beacons:{address}")
 
@@ -142,6 +146,22 @@ class AccessPoint(DcfStation):
             address for address, buffer in self._buffers.items() if buffer
         )
 
+    def set_beacon_suppression(self, suppressed: bool) -> None:
+        """Stop (or resume) beacon transmission — an AP-side outage.
+
+        Suppressed TBTTs still advance the schedule, so beacons resume
+        on the original timing grid once the outage ends.
+        """
+        self._beacons_suppressed = bool(suppressed)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "mac",
+                self.address,
+                "beacon-suppression",
+                suppressed=self._beacons_suppressed,
+            )
+
     def _beacon_loop(self):
         interval = self.timing.beacon_interval_s
         beacon_number = 0
@@ -153,6 +173,9 @@ class AccessPoint(DcfStation):
             delay = target - self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
+            if self._beacons_suppressed:
+                self.beacons_suppressed += 1
+                continue
             tim = self.current_tim()
             beacon = Frame(
                 kind=FrameKind.BEACON,

@@ -67,6 +67,10 @@ class PlayoutBuffer:
         self.capacity_bytes = capacity_bytes
         self.level_bytes = 0.0
         self.playing = False
+        #: True while playback is administratively paused (client churn);
+        #: a suspended buffer neither drains nor auto-starts on delivery.
+        self.suspended = False
+        self._was_playing = False
         self.started_at_s: Optional[float] = None
         self._last_time = 0.0
         self._underrun_since: Optional[float] = None
@@ -123,11 +127,34 @@ class PlayoutBuffer:
             self.level_bytes = float(self.capacity_bytes)
         if self._underrun_since is not None and self.level_bytes > 0:
             self._underrun_since = None  # stall relieved
-        if not self.playing:
+        if not self.playing and not self.suspended:
             if self.level_bytes >= self.prebuffer_s * self.drain_rate_Bps:
                 self.playing = True
                 self.started_at_s = time_s
         self.level_trace.append((time_s, self.level_bytes))
+
+    def pause(self, time_s: float) -> None:
+        """Suspend playback at ``time_s`` (client left mid-stream).
+
+        Drain is accounted up to the pause point; while suspended no
+        bytes drain, no underruns accrue, and deliveries do not start
+        playback.  Idempotent.
+        """
+        self._advance(time_s)
+        if self.suspended:
+            return
+        self.suspended = True
+        self._was_playing = self.playing
+        self.playing = False
+        self._underrun_since = None  # a paused player cannot stall
+
+    def resume(self, time_s: float) -> None:
+        """Resume playback at ``time_s`` from the buffered level."""
+        self._advance(time_s)
+        if not self.suspended:
+            return
+        self.suspended = False
+        self.playing = self._was_playing
 
     def finish(self, time_s: float) -> QosSummary:
         """Close the run at ``time_s`` and return the summary."""

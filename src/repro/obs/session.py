@@ -100,6 +100,17 @@ class ObsSession:
         if self._writer is not None:
             self._writer.run = label
 
+    def end_run(self) -> None:
+        """Drop the run label (trace lines are no longer attributed).
+
+        Campaign runners call this from a ``finally`` so a raising
+        scenario cannot leak its label onto the next run's events.
+        Idempotent; :meth:`begin_run` re-arms it.
+        """
+        self._run_label = None
+        if self._writer is not None:
+            self._writer.run = None
+
     def record(self, result: "ScenarioResult") -> "ScenarioResult":
         """Note a finished scenario (its radios become chrome-trace tracks)."""
         self._chrome_runs.append(

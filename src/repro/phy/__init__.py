@@ -13,6 +13,7 @@ from repro.phy.radio import PowerState, Radio, RadioPowerModel, Transition
 from repro.phy.channel import (
     FreeSpacePathLoss,
     GilbertElliottChannel,
+    InterferenceSchedule,
     LogDistancePathLoss,
     LogNormalShadowing,
     Modulation,
@@ -33,6 +34,7 @@ __all__ = [
     "Battery",
     "FreeSpacePathLoss",
     "GilbertElliottChannel",
+    "InterferenceSchedule",
     "LinearMobility",
     "LogDistancePathLoss",
     "LogNormalShadowing",

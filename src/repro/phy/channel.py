@@ -393,6 +393,65 @@ def quality_from_gilbert_elliott(
     return quality
 
 
+class InterferenceSchedule:
+    """Scripted interference windows that derate quality and spike BER.
+
+    Each window is ``(start_s, duration_s, severity)`` with severity in
+    ``[0, 1)``; overlapping windows compound (two 0.5-severity bursts
+    leave 0.25 of the link).  The schedule composes with any quality
+    signal via :meth:`apply_to`, and fault injection
+    (:mod:`repro.faults`) uses the same semantics when it scales
+    :class:`~repro.core.interfaces.ManagedInterface` quality directly.
+    """
+
+    def __init__(self, windows: Sequence[Tuple[float, float, float]]) -> None:
+        for start, duration, severity in windows:
+            if start < 0:
+                raise ValueError(f"window start must be >= 0, got {start}")
+            if duration <= 0:
+                raise ValueError(f"window duration must be positive, got {duration}")
+            if not 0.0 <= severity < 1.0:
+                raise ValueError(f"severity must be in [0, 1), got {severity}")
+        self._windows = sorted(windows)
+
+    def active_windows(self, time_s: float) -> list[Tuple[float, float, float]]:
+        """The windows covering ``time_s`` (start inclusive, end exclusive)."""
+        return [
+            (start, duration, severity)
+            for start, duration, severity in self._windows
+            if start <= time_s < start + duration
+        ]
+
+    def quality_factor(self, time_s: float) -> float:
+        """Multiplicative link-quality derating at ``time_s`` (1 = clean)."""
+        factor = 1.0
+        for _start, _duration, severity in self.active_windows(time_s):
+            factor *= 1.0 - severity
+        return factor
+
+    def severity_at(self, time_s: float) -> float:
+        """Combined severity at ``time_s`` (0 = clean air)."""
+        return 1.0 - self.quality_factor(time_s)
+
+    def ber_at(self, base_ber: float, time_s: float) -> float:
+        """Base BER pushed toward 0.5 by the active interference."""
+        if not 0.0 <= base_ber <= 0.5:
+            raise ValueError(f"base BER must be in [0, 0.5], got {base_ber}")
+        severity = self.severity_at(time_s)
+        return base_ber + severity * (0.5 - base_ber)
+
+    def apply_to(self, quality_fn):
+        """Compose: ``f(t) -> quality_fn(t) * quality_factor(t)``."""
+
+        def quality(time_s: float) -> float:
+            return quality_fn(time_s) * self.quality_factor(time_s)
+
+        return quality
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+
 def effective_bitrate_bps(nominal_bps: float, per: float) -> float:
     """Goodput after retransmission overhead at packet error rate ``per``.
 

@@ -98,7 +98,7 @@ class TestAggregate:
         assert rows[0] == [
             "gain", "n",
             "wnic_power_w_mean", "wnic_power_w_stdev", "wnic_power_w_ci95",
-            "qos_maintained",
+            "qos_maintained", "failed",
         ]
         assert len(rows) == 3
         assert float(rows[1][2]) == pytest.approx(1.1)
@@ -128,3 +128,24 @@ class TestMergeMetricSnapshots:
     def test_empty_and_missing_snapshots_ignored(self):
         assert merge_metric_snapshots([]) == {}
         assert merge_metric_snapshots([{}, {"c": 1.0}]) == {"c": 1.0}
+
+    def test_only_pN_keys_treated_as_quantiles(self):
+        # Regression: a bare startswith("p") match swallowed any field
+        # beginning with "p" into the count-weighted quantile average.
+        a = {"h": {"count": 2, "mean": 1.0, "min": 1.0, "max": 1.0,
+                   "p50": 1.0, "peak": 7.0}}
+        b = {"h": {"count": 2, "mean": 3.0, "min": 3.0, "max": 3.0,
+                   "p50": 3.0, "peak": 9.0}}
+        merged = merge_metric_snapshots([a, b])["h"]
+        assert merged["p50"] == 2.0  # weighted as a quantile
+        assert "peak" not in merged  # not mangled into a fake quantile
+
+    def test_all_zero_count_histograms_have_finite_min_max(self):
+        # Regression: min/max must close to 0, not leak the ±inf seeds.
+        empty = {"h": {"count": 0, "mean": 0.0, "p50": 0.0}}
+        merged = merge_metric_snapshots([empty, empty])["h"]
+        assert merged["count"] == 0
+        assert (merged["min"], merged["max"]) == (0.0, 0.0)
+        assert merged["mean"] == 0.0
+        assert merged["p50"] == 0.0
+        assert all(math.isfinite(v) for v in merged.values())

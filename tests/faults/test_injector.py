@@ -1,0 +1,107 @@
+"""FaultInjector: scheduled fail/revive, interference, beacon outages."""
+
+import pytest
+
+from repro.core import wlan_interface
+from repro.faults import (
+    BeaconOutage,
+    FaultInjector,
+    FaultPlan,
+    InterferenceBurst,
+    RadioOutage,
+)
+from repro.mac import AccessPoint, Medium
+from repro.sim import RandomStreams, Simulator
+
+
+def make_injector(plan, n_interfaces=1):
+    sim = Simulator()
+    injector = FaultInjector(sim, plan)
+    interfaces = [
+        wlan_interface(sim, name=f"client{i}/wlan") for i in range(n_interfaces)
+    ]
+    for interface in interfaces:
+        injector.bind_interface(interface)
+    return sim, injector, interfaces
+
+
+class TestRadioOutage:
+    def test_interface_dies_and_revives_on_schedule(self):
+        plan = FaultPlan([RadioOutage("*/wlan", 5.0, 10.0)])
+        sim, injector, (iface,) = make_injector(plan)
+        injector.start()
+        sim.run(until=4.0)
+        assert iface.alive and iface.quality_at(sim.now) == 1.0
+        sim.run(until=7.0)
+        assert not iface.alive
+        assert iface.quality_at(sim.now) == 0.0
+        sim.run(until=20.0)
+        assert iface.alive and iface.quality_at(sim.now) == 1.0
+        assert iface.outages == 1
+        assert [edge for _t, edge in iface.outage_log] == ["fail", "revive"]
+        assert injector.injected == 1
+
+    def test_pattern_hits_every_matching_interface(self):
+        plan = FaultPlan([RadioOutage("*/wlan", 1.0, 2.0)])
+        sim, injector, interfaces = make_injector(plan, n_interfaces=3)
+        injector.start()
+        sim.run(until=1.5)
+        assert all(not i.alive for i in interfaces)
+
+    def test_unmatched_fault_counts_as_unbound(self):
+        plan = FaultPlan([RadioOutage("*/gprs", 1.0, 2.0)])
+        sim, injector, _ = make_injector(plan)
+        injector.start()
+        assert injector.unbound == 1
+
+    def test_double_start_rejected(self):
+        sim, injector, _ = make_injector(FaultPlan())
+        injector.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            injector.start()
+
+
+class TestInterference:
+    def test_quality_scaled_during_burst_only(self):
+        plan = FaultPlan([InterferenceBurst("*/wlan", 2.0, 4.0, severity=0.4)])
+        sim, injector, (iface,) = make_injector(plan)
+        injector.start()
+        sim.run(until=1.0)
+        assert iface.quality_at(sim.now) == 1.0
+        sim.run(until=3.0)
+        assert iface.quality_at(sim.now) == pytest.approx(0.6)
+        sim.run(until=10.0)
+        assert iface.quality_at(sim.now) == 1.0
+
+    def test_overlapping_bursts_compound(self):
+        plan = FaultPlan([
+            InterferenceBurst("*/wlan", 1.0, 10.0, severity=0.5),
+            InterferenceBurst("*/wlan", 2.0, 2.0, severity=0.5),
+        ])
+        sim, injector, (iface,) = make_injector(plan)
+        injector.start()
+        sim.run(until=3.0)
+        assert iface.quality_at(sim.now) == pytest.approx(0.25)
+        sim.run(until=5.0)  # inner burst over, outer still active
+        assert iface.quality_at(sim.now) == pytest.approx(0.5)
+
+
+class TestBeaconOutage:
+    def test_ap_stops_beaconing_for_the_window(self):
+        sim = Simulator()
+        medium = Medium(sim)
+        streams = RandomStreams(seed=0)
+        ap = AccessPoint(sim, medium, "ap", rng=streams.stream("ap"))
+        injector = FaultInjector(sim, FaultPlan([BeaconOutage(0.35, 0.5)]))
+        injector.bind_access_point(ap)
+        injector.start()
+        sim.run(until=1.2)
+        # Beacon interval is 0.1s: beacons at 0.1-0.3 go out, the five
+        # TBTTs inside [0.35, 0.85) are suppressed, 0.9-1.1 go out again.
+        assert ap.beacons_suppressed == 5
+        assert ap.beacons_sent == 6
+
+    def test_unbound_without_access_point(self):
+        sim, injector, _ = make_injector(FaultPlan([BeaconOutage(1.0, 2.0)]))
+        injector.start()
+        assert injector.unbound == 1

@@ -1,0 +1,130 @@
+"""Fault plans: validation, ordering, matching, seeded determinism."""
+
+import pytest
+
+from repro.faults import (
+    BeaconOutage,
+    ClientChurn,
+    FaultPlan,
+    InterferenceBurst,
+    RadioOutage,
+)
+from repro.sim.streams import RandomStreams
+
+
+class TestFaultRecords:
+    def test_radio_outage_validates_window(self):
+        with pytest.raises(ValueError, match="start"):
+            RadioOutage("*/wlan", -1.0, 5.0)
+        with pytest.raises(ValueError, match="duration"):
+            RadioOutage("*/wlan", 0.0, 0.0)
+        with pytest.raises(ValueError, match="target"):
+            RadioOutage("", 0.0, 5.0)
+
+    def test_radio_outage_fnmatch_targeting(self):
+        outage = RadioOutage("*/wlan", 10.0, 5.0)
+        assert outage.matches("client0/wlan")
+        assert outage.matches("client7/wlan")
+        assert not outage.matches("client0/bluetooth")
+        exact = RadioOutage("client1/wlan", 10.0, 5.0)
+        assert exact.matches("client1/wlan")
+        assert not exact.matches("client0/wlan")
+
+    def test_churn_requires_rejoin_after_leave(self):
+        with pytest.raises(ValueError, match="rejoin"):
+            ClientChurn("client0", 10.0, 10.0)
+        with pytest.raises(ValueError, match="client"):
+            ClientChurn("", 10.0, 20.0)
+
+    def test_interference_severity_bounds(self):
+        InterferenceBurst("*/bluetooth", 0.0, 1.0, severity=0.0)
+        with pytest.raises(ValueError, match="severity"):
+            InterferenceBurst("*/bluetooth", 0.0, 1.0, severity=1.0)
+
+    def test_beacon_outage_validates_window(self):
+        with pytest.raises(ValueError, match="duration"):
+            BeaconOutage(0.0, -1.0)
+
+    def test_records_are_frozen(self):
+        outage = RadioOutage("*/wlan", 10.0, 5.0)
+        with pytest.raises(AttributeError):
+            outage.start_s = 0.0
+
+
+class TestFaultPlan:
+    def test_plan_sorts_by_start_time(self):
+        plan = FaultPlan([
+            RadioOutage("*/wlan", 50.0, 5.0),
+            ClientChurn("client0", 10.0, 20.0),
+            BeaconOutage(30.0, 5.0),
+        ])
+        starts = [getattr(f, "start_s", getattr(f, "leave_s", None)) for f in plan]
+        assert starts == [10.0, 30.0, 50.0]
+
+    def test_add_keeps_order(self):
+        plan = FaultPlan()
+        plan.add(RadioOutage("*/wlan", 40.0, 5.0))
+        plan.add(RadioOutage("*/wlan", 10.0, 5.0))
+        assert [f.start_s for f in plan] == [10.0, 40.0]
+        assert len(plan) == 2
+
+    def test_of_type_filters(self):
+        plan = FaultPlan([
+            RadioOutage("*/wlan", 10.0, 5.0),
+            ClientChurn("client0", 20.0, 30.0),
+        ])
+        assert len(plan.of_type(RadioOutage)) == 1
+        assert len(plan.of_type(BeaconOutage)) == 0
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        plan = FaultPlan([RadioOutage("*/wlan", 10.0, 5.0)])
+        described = plan.describe()
+        assert described[0]["kind"] == "RadioOutage"
+        assert described[0]["target"] == "*/wlan"
+        json.dumps(described)  # must not raise
+
+
+class TestRandomPlans:
+    def names(self):
+        return ["client0/wlan", "client0/bluetooth"]
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(RandomStreams(seed=7), 300.0, self.names())
+        b = FaultPlan.random(RandomStreams(seed=7), 300.0, self.names())
+        assert a.describe() == b.describe()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random(RandomStreams(seed=7), 600.0, self.names())
+        b = FaultPlan.random(RandomStreams(seed=8), 600.0, self.names())
+        assert a.describe() != b.describe()
+
+    def test_plan_insensitive_to_foreign_stream_draws(self):
+        # Fault draws live on dedicated faults/* substreams: another
+        # model consuming its own stream must not shift the plan.
+        clean = RandomStreams(seed=3)
+        dirty = RandomStreams(seed=3)
+        for _ in range(100):
+            dirty.uniform("mac/backoff", 0.0, 1.0)
+        a = FaultPlan.random(clean, 300.0, self.names())
+        b = FaultPlan.random(dirty, 300.0, self.names())
+        assert a.describe() == b.describe()
+
+    def test_zero_rates_give_empty_plan(self):
+        plan = FaultPlan.random(
+            RandomStreams(seed=0), 300.0, self.names(),
+            outage_rate_per_min=0.0,
+        )
+        assert len(plan) == 0
+
+    def test_churn_probability_one_churns_every_client(self):
+        plan = FaultPlan.random(
+            RandomStreams(seed=0), 300.0, [],
+            client_names=["client0", "client1"],
+            churn_probability=1.0,
+        )
+        churned = {f.client for f in plan.of_type(ClientChurn)}
+        assert churned == {"client0", "client1"}
+        for fault in plan.of_type(ClientChurn):
+            assert 0.0 < fault.leave_s < fault.rejoin_s < 300.0
