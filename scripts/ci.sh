@@ -131,4 +131,31 @@ if point["stats"]["switchovers"]["mean"] < 2.0:
 print("faulty-hotspot ok: QoS held across the WLAN outage with failover")
 EOF
 
+echo "== fleet-hotspot smoke check =="
+fleet_dir="$(mktemp -d /tmp/repro-fleet.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir"' EXIT
+python -m repro fleet --duration 30 --json > "$fleet_dir/fleet.json"
+
+python - "$fleet_dir/fleet.json" <<'EOF'
+import json
+import sys
+
+record = json.load(open(sys.argv[1]))
+if record["n_aps"] != 4 or record["n_clients"] != 24:
+    sys.exit(f"fleet smoke: unexpected shape: {record['n_aps']} APs, "
+             f"{record['n_clients']} clients")
+if not record["qos_maintained"]:
+    sys.exit("fleet smoke: QoS lost during roaming")
+if record["handoffs"] < 1:
+    sys.exit("fleet smoke: no handoffs happened in 30 s")
+cells = record["cells"]
+if sorted(cells) != ["ap0", "ap1", "ap2", "ap3"]:
+    sys.exit(f"fleet smoke: missing per-cell breakdowns: {sorted(cells)}")
+served = sum(c["bursts_served"] for c in cells.values())
+if served == 0:
+    sys.exit("fleet smoke: no cell served any bursts")
+print(f"fleet ok: {record['handoffs']} handoffs across "
+      f"{record['n_aps']} cells, QoS held, {served} bursts served")
+EOF
+
 echo "ci.sh: all checks passed"

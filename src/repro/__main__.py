@@ -371,6 +371,56 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the multi-AP fleet scenario and summarise roaming + energy."""
+    from repro.net import run_fleet_hotspot_scenario
+
+    obs = ObsSession.from_args(args)
+    if obs is not None:
+        obs.begin_run("fleet/fleet-hotspot")
+    result = run_fleet_hotspot_scenario(
+        n_clients=args.clients,
+        n_aps=args.aps,
+        duration_s=args.duration,
+        scheduler=args.scheduler,
+        utilisation_cap=args.utilisation_cap,
+        seed=args.seed,
+        obs=obs,
+    )
+    if obs is not None:
+        obs.record(result)
+    extras = result.extras
+    if args.json:
+        print(dumps_strict(result.summary_record(), indent=2))
+        _finish_obs(obs)
+        return 0
+    cell_rows = [
+        [name, stats["clients"], stats["adoptions"], stats["load_fraction"],
+         stats["bursts_served"], stats["bursts_failed"]]
+        for name, stats in extras["cells"].items()
+    ]
+    print(
+        format_table(
+            ["cell", "clients", "adoptions", "load", "bursts", "failed"],
+            cell_rows,
+            title=f"Fleet {result.label} "
+            f"({args.aps} APs, {args.clients} clients, {args.duration:.0f}s)",
+        )
+    )
+    print(
+        f"\nhandoffs: {extras['handoffs']} "
+        f"(declined {extras['handoffs_declined']}, "
+        f"suspended {extras['handoff_suspensions']}), "
+        f"association churn: {extras['association_churn']}"
+    )
+    print(
+        f"mean WNIC power: {result.mean_wnic_power_w():.4f} W, "
+        f"QoS maintained: {result.qos_maintained()}"
+    )
+    _finish_obs(obs)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run the hotspot scenario fully traced and summarise the stream."""
     # The trace subcommand always collects metrics (they feed the top-N
@@ -401,10 +451,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     shared = argparse.ArgumentParser(add_help=False)
-    shared.add_argument("--clients", type=int, default=3, help="number of clients")
-    shared.add_argument(
-        "--duration", type=float, default=60.0, help="simulated seconds"
-    )
     shared.add_argument("--seed", type=int, default=0, help="experiment seed")
     shared.add_argument(
         "--scheduler",
@@ -431,6 +477,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the metrics-registry summary table after the run",
+    )
+    # A separate parent for workload sizing: parents= shares the action
+    # objects by reference, so a subparser that wants different defaults
+    # (fleet: 24 clients, 120 s) must add its own copies rather than
+    # set_defaults() on the shared actions — that would mutate every
+    # other subcommand's defaults too.
+    workload = argparse.ArgumentParser(add_help=False)
+    workload.add_argument(
+        "--clients", type=int, default=3, help="number of clients"
+    )
+    workload.add_argument(
+        "--duration", type=float, default=60.0, help="simulated seconds"
     )
     json_flag = argparse.ArgumentParser(add_help=False)
     json_flag.add_argument(
@@ -462,21 +520,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser(
-        "fig1", parents=[shared], help="render the sample schedule (paper Figure 1)"
+        "fig1",
+        parents=[shared, workload],
+        help="render the sample schedule (paper Figure 1)",
     )
     sub.add_parser(
         "fig2",
-        parents=[shared, json_flag],
+        parents=[shared, workload, json_flag],
         help="average power comparison (paper Figure 2)",
     )
     sub.add_parser(
         "sweep-schedulers",
-        parents=[shared, json_flag, pool],
+        parents=[shared, workload, json_flag, pool],
         help="scheduler ablation",
     )
     sub.add_parser(
         "sweep-bursts",
-        parents=[shared, json_flag, pool],
+        parents=[shared, workload, json_flag, pool],
         help="burst-size ablation",
     )
     campaign = sub.add_parser(
@@ -561,9 +621,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="base of the exponential backoff slept between attempts",
     )
+    fleet = sub.add_parser(
+        "fleet",
+        parents=[shared, json_flag],
+        help="multi-AP fleet with roaming clients (repro.net)",
+        description="A corridor of hotspot cells serving a population of "
+        "random-waypoint walkers: admissions steer to the least-loaded "
+        "covering cell and the handoff controller roams clients between "
+        "cells as they move.  Example: repro fleet --aps 4 --clients 24 "
+        "--duration 120",
+    )
+    fleet.add_argument(
+        "--aps", type=int, default=4, help="number of access-point sites"
+    )
+    fleet.add_argument(
+        "--clients", type=int, default=24, help="number of roaming clients"
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=120.0, help="simulated seconds"
+    )
+    fleet.add_argument(
+        "--utilisation-cap",
+        type=float,
+        default=0.9,
+        help="admission-control utilisation cap per cell channel",
+    )
     trace_parser = sub.add_parser(
         "trace",
-        parents=[shared],
+        parents=[shared, workload],
         help="run the hotspot scenario traced; print top event kinds "
         "and per-radio dwell breakdown",
     )
@@ -579,6 +664,7 @@ _COMMANDS = {
     "sweep-schedulers": cmd_sweep_schedulers,
     "sweep-bursts": cmd_sweep_bursts,
     "campaign": cmd_campaign,
+    "fleet": cmd_fleet,
     "trace": cmd_trace,
 }
 

@@ -140,6 +140,7 @@ def run_hotspot_scenario(
     interface_policy: Optional[InterfaceSelectionPolicy] = None,
     server_prefetch_s: float = 30.0,
     fault_plan: Optional[FaultPlan] = None,
+    utilisation_cap: float = 0.9,
     label: Optional[str] = None,
     obs=None,
 ) -> ScenarioResult:
@@ -179,6 +180,7 @@ def run_hotspot_scenario(
         epoch_s=epoch_s,
         min_burst_bytes=min(burst_bytes, client_buffer_bytes),
         interface_policy=interface_policy,
+        utilisation_cap=utilisation_cap,
     )
     bt_quality = (
         ScriptedLinkQuality(bluetooth_quality_script).quality

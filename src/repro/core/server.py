@@ -63,7 +63,23 @@ class InterfaceSelectionPolicy:
         self.quality_threshold = quality_threshold
         self.rate_margin = rate_margin
 
-    def select(self, client: HotspotClient, now: float) -> str:
+    def select(
+        self,
+        client: HotspotClient,
+        now: float,
+        committed_bps: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Pick ``client``'s interface; ``committed_bps`` makes it load-aware.
+
+        Without ``committed_bps`` only the client's own contracted rate
+        must fit (the paper's three-client testbed never needed more).
+        With it — the rate already promised to *other* clients per
+        channel, as the server tracks — the margin applies to the
+        aggregate, so a preferred low-power channel stops attracting
+        clients once the contracts on it approach its effective rate:
+        the overflow lands on the next interface in preference order
+        instead of saturating the channel.  Fleet cells rely on this.
+        """
         candidates = [
             name for name in self.preference if name in client.interfaces
         ]
@@ -76,9 +92,12 @@ class InterfaceSelectionPolicy:
             name for name in candidates if client.interfaces[name].alive
         ]
         pool = alive or candidates
-        required_rate = client.contract.stream_rate_bps * self.rate_margin
         for name in pool:
             interface = client.interfaces[name]
+            committed = committed_bps.get(name, 0.0) if committed_bps else 0.0
+            required_rate = (
+                committed + client.contract.stream_rate_bps
+            ) * self.rate_margin
             if (
                 interface.quality_at(now) >= self.quality_threshold
                 and interface.effective_rate_bps >= required_rate
@@ -122,6 +141,10 @@ class HotspotServer:
         Serve a client no later than this long before its buffer empties.
     interface_policy:
         Interface-selection policy; defaults to Bluetooth-first.
+    utilisation_cap:
+        Default admission budget: a new contract fits an interface when
+        committed + new rate stays below this fraction of the channel's
+        effective rate.  Fleet experiments sweep it.
     """
 
     def __init__(
@@ -132,6 +155,8 @@ class HotspotServer:
         min_burst_bytes: int = 20_000,
         deadline_safety_s: float = 0.5,
         interface_policy: Optional[InterfaceSelectionPolicy] = None,
+        utilisation_cap: float = 0.9,
+        load_aware_selection: bool = False,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError("epoch must be positive")
@@ -139,6 +164,9 @@ class HotspotServer:
             raise ValueError("min burst must be positive")
         if deadline_safety_s < 0:
             raise ValueError("deadline safety must be >= 0")
+        if not 0.0 < utilisation_cap <= 1.0:
+            raise ValueError("utilisation cap must be in (0, 1]")
+        self.utilisation_cap = utilisation_cap
         self.sim = sim
         self.scheduler = (
             make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
@@ -147,6 +175,7 @@ class HotspotServer:
         self.min_burst_bytes = min_burst_bytes
         self.deadline_safety_s = deadline_safety_s
         self.interface_policy = interface_policy or InterfaceSelectionPolicy()
+        self.load_aware_selection = load_aware_selection
         self.sessions: Dict[str, ClientSession] = {}
         self.rounds = 0
         self.bursts_served = 0
@@ -167,14 +196,19 @@ class HotspotServer:
             )
         )
 
-    def can_admit(self, client: HotspotClient, utilisation_cap: float = 0.9) -> bool:
+    def can_admit(
+        self, client: HotspotClient, utilisation_cap: Optional[float] = None
+    ) -> bool:
         """Bandwidth allocation check: can any interface host this contract?
 
         The paper's resource manager "allocates appropriate bandwidth for
         communication": a new client is admissible when at least one of
         its interfaces has headroom for its contracted rate on top of the
-        rates already promised to clients on that channel.
+        rates already promised to clients on that channel.  The cap
+        defaults to the server's configured ``utilisation_cap``.
         """
+        if utilisation_cap is None:
+            utilisation_cap = self.utilisation_cap
         if not 0.0 < utilisation_cap <= 1.0:
             raise ValueError("utilisation cap must be in (0, 1]")
         for name, interface in client.interfaces.items():
@@ -202,6 +236,48 @@ class HotspotServer:
         session = ClientSession(client=client)
         self.sessions[client.name] = session
         client.initialise()
+        return session
+
+    # -- roaming (repro.net handoff) -------------------------------------------
+
+    def detach_session(self, client_name: str) -> ClientSession:
+        """Remove and return a session wholesale (handoff to another cell).
+
+        The session object — backlog, counters, interface log — travels
+        with the client to the adopting server; nothing about the client
+        itself is touched, so an in-flight burst completes against the
+        same shared session state.
+        """
+        session = self.sessions.pop(client_name, None)
+        if session is None:
+            raise KeyError(f"unknown client {client_name!r}")
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("core", client_name, "session-detached")
+        return session
+
+    def adopt_session(
+        self, session: ClientSession, enforce_admission: bool = False
+    ) -> ClientSession:
+        """Adopt a session another server detached (handoff arrival).
+
+        Unlike :meth:`register` the client's interfaces are *not*
+        re-initialised — its radios keep whatever state the previous
+        cell left them in — and its accumulated backlog rides along.
+        """
+        name = session.client.name
+        if name in self.sessions:
+            raise ValueError(f"client {name!r} already registered")
+        if enforce_admission and not self.can_admit(session.client):
+            raise AdmissionError(
+                f"no interface can carry "
+                f"{session.client.contract.stream_rate_bps:.0f} b/s "
+                f"for roaming client {name!r} given current commitments"
+            )
+        self.sessions[name] = session
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("core", name, "session-adopted")
         return session
 
     # -- traffic ingress -----------------------------------------------------------
@@ -286,7 +362,9 @@ class HotspotServer:
             # parallel, bursts on one channel go back-to-back in order.
             by_channel: Dict[str, List[BurstRequest]] = {}
             for request in ordered:
-                session = self.sessions[request.client]
+                session = self.sessions.get(request.client)
+                if session is None:
+                    continue  # handed off between build and dispatch
                 by_channel.setdefault(session.interface or "", []).append(request)
             serving = [
                 self.sim.process(
@@ -300,11 +378,33 @@ class HotspotServer:
     def _build_requests(self) -> List[BurstRequest]:
         requests: List[BurstRequest] = []
         now = self.sim.now
+        # With load-aware selection, track the contracted rate assigned
+        # per channel and maintain it through the loop, so clients
+        # re-evaluated later in this round see the assignments (and
+        # overflows) of the earlier ones.
+        committed: Optional[Dict[str, float]] = None
+        if self.load_aware_selection:
+            committed = {}
+            for session in self.sessions.values():
+                if not session.paused and session.interface is not None:
+                    committed[session.interface] = (
+                        committed.get(session.interface, 0.0)
+                        + session.client.contract.stream_rate_bps
+                    )
         for session in self.sessions.values():
             client = session.client
             if session.paused:
                 continue
-            self._update_interface(session, now)
+            if committed is None:
+                self._update_interface(session, now)
+            else:
+                rate = client.contract.stream_rate_bps
+                if session.interface is not None:
+                    committed[session.interface] -= rate
+                self._update_interface(session, now, committed)
+                committed[session.interface] = (
+                    committed.get(session.interface, 0.0) + rate
+                )
             if session.backlog_bytes <= 0:
                 continue
             space = client.buffer_space_bytes()
@@ -340,8 +440,15 @@ class HotspotServer:
             )
         return requests
 
-    def _update_interface(self, session: ClientSession, now: float) -> None:
-        chosen = self.interface_policy.select(session.client, now)
+    def _update_interface(
+        self,
+        session: ClientSession,
+        now: float,
+        committed_bps: Optional[Dict[str, float]] = None,
+    ) -> None:
+        chosen = self.interface_policy.select(
+            session.client, now, committed_bps
+        )
         if chosen != session.interface:
             bus = self.sim.trace
             if bus.enabled:
@@ -359,7 +466,9 @@ class HotspotServer:
 
     def _serve_channel(self, channel: str, requests: List[BurstRequest]):
         for request in requests:
-            session = self.sessions[request.client]
+            session = self.sessions.get(request.client)
+            if session is None:
+                continue  # the client roamed to another cell mid-round
             if session.paused or session.interface is None:
                 continue  # the client churned away since the round started
             # Re-clamp to the space left when the burst actually starts.

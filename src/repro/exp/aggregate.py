@@ -137,6 +137,28 @@ def merge_metric_snapshots(
     return merged
 
 
+def flatten_numeric_fields(
+    prefix: str, value: Dict[str, Any], out: Dict[str, List[float]]
+) -> None:
+    """Flatten a nested dict field into dotted numeric paths.
+
+    ``{"cells": {"ap0": {"bursts": 3}}}`` contributes a ``cells.ap0.bursts``
+    sample — how per-cell (or any structured) breakdowns a scenario
+    reports survive seed aggregation instead of being silently dropped.
+    Booleans and non-numeric leaves are skipped; list-valued leaves
+    (e.g. a handoff timeline) stay per-run detail and are not averaged.
+    """
+    for key in sorted(value):
+        item = value[key]
+        name = f"{prefix}.{key}"
+        if isinstance(item, bool):
+            continue
+        if isinstance(item, (int, float)):
+            out.setdefault(name, []).append(float(item))
+        elif isinstance(item, dict):
+            flatten_numeric_fields(name, item, out)
+
+
 @dataclass
 class GridPointSummary:
     """One grid point folded across its seeds."""
@@ -196,6 +218,11 @@ def aggregate(results: Sequence[RunResult]) -> List[GridPointSummary]:
                     numeric.setdefault(name, []).append(float(value))
                 elif name == "metrics" and isinstance(value, dict):
                     snapshots.append(value)
+                elif isinstance(value, dict):
+                    # Structured breakdowns (e.g. per-cell fleet stats):
+                    # flatten to dotted numeric fields so they aggregate
+                    # across seeds like any scalar.
+                    flatten_numeric_fields(name, value, numeric)
         label = str(healthy[0].record.get("label", "")) if healthy else ""
         summaries.append(
             GridPointSummary(

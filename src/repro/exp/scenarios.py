@@ -19,6 +19,7 @@ from repro.core.scenario import (
     run_psm_baseline_scenario,
     run_unscheduled_scenario,
 )
+from repro.net.scenario import run_fleet_hotspot_scenario
 
 ScenarioFn = Callable[..., object]
 
@@ -50,3 +51,4 @@ register_scenario("hotspot", run_hotspot_scenario)
 register_scenario("faulty-hotspot", run_faulty_hotspot_scenario)
 register_scenario("unscheduled", run_unscheduled_scenario)
 register_scenario("psm-baseline", run_psm_baseline_scenario)
+register_scenario("fleet-hotspot", run_fleet_hotspot_scenario)

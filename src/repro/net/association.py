@@ -1,0 +1,97 @@
+"""Which cell is each client attached to, and how often that changes.
+
+The :class:`AssociationManager` is the fleet's single source of truth
+for client → cell attachment.  Client-side interface quality closures
+read it at query time (so a handoff flips every quality signal the
+moment the association moves), the :class:`~repro.net.fleet.
+FleetCoordinator` steers admissions through it, and the
+:class:`~repro.net.handoff.HandoffController` re-points it when a
+client roams.
+
+Every change is counted and (when tracing is on) emitted on the ``net``
+layer, giving campaigns an association-churn signal per cell.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.net.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class AssociationManager:
+    """Tracks client → site attachment for one fleet.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (trace clock + event emission).
+    topology:
+        The deployment; associations must reference its sites.
+    """
+
+    def __init__(self, sim: "Simulator", topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._associations: Dict[str, str] = {}
+        #: Re-associations (handoffs), excluding first attachments.
+        self.churn = 0
+        #: Full (time, client, site) association history.
+        self.log: List[Tuple[float, str, str]] = []
+
+    def associate(self, client_name: str, site_name: str) -> None:
+        """Attach ``client_name`` to ``site_name`` (idempotent)."""
+        self.topology.site(site_name)  # validate
+        previous = self._associations.get(client_name)
+        if previous == site_name:
+            return
+        self._associations[client_name] = site_name
+        if previous is not None:
+            self.churn += 1
+        self.log.append((self.sim.now, client_name, site_name))
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "net",
+                client_name,
+                "associate",
+                site=site_name,
+                previous=previous,
+            )
+
+    def disassociate(self, client_name: str) -> None:
+        """Drop a client's attachment entirely (it left the fleet)."""
+        previous = self._associations.pop(client_name, None)
+        if previous is None:
+            return
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit("net", client_name, "disassociate", site=previous)
+
+    def site_of(self, client_name: str) -> Optional[str]:
+        """The site ``client_name`` is attached to, or None."""
+        return self._associations.get(client_name)
+
+    def clients_of(self, site_name: str) -> List[str]:
+        """Clients attached to ``site_name``, sorted for determinism."""
+        return sorted(
+            client
+            for client, site in self._associations.items()
+            if site == site_name
+        )
+
+    def associations(self) -> Dict[str, str]:
+        """A copy of the full client → site map."""
+        return dict(self._associations)
+
+    def __len__(self) -> int:
+        return len(self._associations)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AssociationManager clients={len(self._associations)} "
+            f"churn={self.churn}>"
+        )

@@ -1,0 +1,214 @@
+"""The fleet-hotspot scenario: many cells, many roaming clients.
+
+Scales the paper's Section-2 experiment from one server with three
+static clients to a corridor of hotspot cells serving a population of
+random-waypoint walkers: admissions are steered to the least-loaded
+covering cell, the handoff controller roams clients as they walk, and
+each cell's resource manager keeps scheduling large bursts so every
+WNIC sleeps between them — the per-client energy outcome must survive
+fleet scale, which is what the BENCH_fleet trajectory tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.apps.traffic import Mp3Stream
+from repro.core.client import HotspotClient
+from repro.core.interfaces import (
+    ManagedInterface,
+    bluetooth_interface,
+    wlan_interface,
+)
+from repro.core.scenario import (
+    _MP3_DECODE_BUSY_FRACTION,
+    ClientOutcome,
+    ScenarioResult,
+    _make_contract,
+)
+from repro.core.scheduling import BurstScheduler
+from repro.devices import ipaq_3970
+from repro.devices.profiles import DeviceProfile
+from repro.net.association import AssociationManager
+from repro.net.fleet import FleetCoordinator
+from repro.net.handoff import HandoffController
+from repro.net.topology import Topology, linear_deployment
+from repro.phy import Radio
+from repro.phy.mobility import RandomWaypoint
+from repro.sim import RandomStreams, Simulator
+
+
+def _association_quality(association, topology, client_name, kind, mobility):
+    """A quality signal that follows the client's *current* cell.
+
+    Re-pointing the association (admission or handoff) instantly flips
+    the signal to the new site's link budget — the interface-selection
+    policy inside the cell never knows roaming exists.
+    """
+
+    def quality(time_s: float) -> float:
+        site = association.site_of(client_name)
+        if site is None:
+            return 0.0
+        return topology.quality(site, kind, mobility.position(time_s))
+
+    return quality
+
+
+def run_fleet_hotspot_scenario(
+    n_clients: int = 24,
+    n_aps: int = 4,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler: Union[BurstScheduler, str] = "edf",
+    burst_bytes: int = 80_000,
+    client_buffer_bytes: int = 192_000,
+    epoch_s: float = 0.25,
+    ap_spacing_m: float = 50.0,
+    arena_depth_m: float = 30.0,
+    speed_range_m_s: tuple = (0.5, 2.0),
+    pause_range_s: tuple = (0.0, 5.0),
+    utilisation_cap: float = 0.9,
+    coverage_threshold: float = 0.05,
+    handoff_check_interval_s: float = 1.0,
+    hysteresis_margin: float = 0.1,
+    min_dwell_s: float = 5.0,
+    handoff_latency_range_s: tuple = (0.05, 0.2),
+    gauge_interval_s: float = 5.0,
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    server_prefetch_s: float = 30.0,
+    label: Optional[str] = None,
+    obs=None,
+) -> ScenarioResult:
+    """A multi-cell hotspot fleet with roaming random-waypoint clients.
+
+    ``n_aps`` co-located WLAN+Bluetooth hotspot sites form a corridor
+    (``ap_spacing_m`` apart, arena ``n_aps * ap_spacing_m`` by
+    ``arena_depth_m`` metres); ``n_clients`` walkers roam it under the
+    seeded :class:`~repro.phy.mobility.RandomWaypoint` model.  Each cell
+    runs its own :class:`~repro.core.server.HotspotServer`, admissions
+    are steered to the least-loaded covering cell, and the
+    :class:`~repro.net.handoff.HandoffController` moves clients between
+    cells with hysteresis as they walk.
+
+    The result's ``extras`` carry the fleet-level counters (handoffs,
+    association churn, per-cell breakdowns and the full handoff
+    timeline) into the campaign summary record.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if n_aps < 1:
+        raise ValueError("need at least one access point")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if arena_depth_m <= 0:
+        raise ValueError("arena depth must be positive")
+    sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
+    streams = RandomStreams(seed=seed)
+    platform = platform or ipaq_3970()
+    topology: Topology = linear_deployment(
+        n_aps, spacing_m=ap_spacing_m, y_m=arena_depth_m / 2.0
+    )
+    association = AssociationManager(sim, topology)
+    fleet = FleetCoordinator(
+        sim,
+        topology,
+        association,
+        coverage_threshold=coverage_threshold,
+        gauge_interval_s=gauge_interval_s,
+        scheduler=scheduler,
+        epoch_s=epoch_s,
+        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
+        utilisation_cap=utilisation_cap,
+        load_aware_selection=True,
+    )
+    handoff = HandoffController(
+        sim,
+        fleet,
+        streams,
+        check_interval_s=handoff_check_interval_s,
+        hysteresis_margin=hysteresis_margin,
+        min_dwell_s=min_dwell_s,
+        latency_range_s=handoff_latency_range_s,
+    )
+    arena = ((0.0, 0.0), (n_aps * ap_spacing_m, arena_depth_m))
+    clients: List[HotspotClient] = []
+    radios: Dict[str, Radio] = {}
+    for index in range(n_clients):
+        name = f"client{index}"
+        mobility = RandomWaypoint(
+            streams,
+            name,
+            area=arena,
+            speed_range_m_s=speed_range_m_s,
+            pause_range_s=pause_range_s,
+        )
+        available: Dict[str, ManagedInterface] = {
+            "bluetooth": bluetooth_interface(
+                sim,
+                name=f"{name}/bluetooth",
+                quality=_association_quality(
+                    association, topology, name, "bluetooth", mobility
+                ),
+            ),
+            "wlan": wlan_interface(
+                sim,
+                name=f"{name}/wlan",
+                quality=_association_quality(
+                    association, topology, name, "wlan", mobility
+                ),
+            ),
+        }
+        contract = _make_contract(name, bitrate_bps, client_buffer_bytes)
+        client = HotspotClient(sim, name, contract, available, platform=platform)
+        fleet.admit(client, mobility.position(0.0))
+        handoff.track(name, mobility)
+        clients.append(client)
+        for interface in available.values():
+            radios[interface.radio.name] = interface.radio
+        if server_prefetch_s > 0:
+            fleet.ingest(name, int(server_prefetch_s * bitrate_bps / 8.0))
+        source = Mp3Stream(bitrate_bps=bitrate_bps)
+        source.start(sim, fleet.sink_for(name), until_s=duration_s)
+    fleet.start()
+    handoff.start()
+    sim.run(until=duration_s)
+    outcomes = []
+    for client in clients:
+        session = fleet.session_of(client.name)
+        outcomes.append(
+            ClientOutcome(
+                name=client.name,
+                qos=client.finish(),
+                energy=client.energy_report(_MP3_DECODE_BUSY_FRACTION),
+                wnic_average_power_w=client.wnic_average_power_w(),
+                bursts=client.bursts_received,
+                bytes_received=client.bytes_received,
+                switchovers=session.switchovers,
+                interface_log=list(session.interface_log),
+            )
+        )
+    scheduler_name = (
+        scheduler if isinstance(scheduler, str) else scheduler.name
+    )
+    extras: Dict[str, object] = {
+        "n_aps": n_aps,
+        "handoffs": handoff.handoffs,
+        "handoff_suspensions": handoff.suspensions,
+        "handoffs_declined": handoff.declined,
+        "association_churn": association.churn,
+        "admission_rejections": fleet.rejected,
+        "cells": fleet.cell_summary(),
+        "handoff_timeline": handoff.timeline_records(),
+        "sim_events": sim.events_scheduled,
+    }
+    return ScenarioResult(
+        label=label or f"fleet-hotspot[{scheduler_name}]",
+        duration_s=duration_s,
+        clients=outcomes,
+        radios=radios,
+        extras=extras,
+    )

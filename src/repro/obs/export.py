@@ -155,6 +155,23 @@ class MetricsCollector:
             nbytes = event.fields.get("nbytes")
             if nbytes is not None:
                 registry.histogram("core.grant.bytes").add(nbytes)
+        elif event.layer == "net":
+            if event.kind == "handoff-complete":
+                latency = event.fields.get("latency_s")
+                if latency is not None:
+                    registry.histogram("net.handoff.latency_s").add(latency)
+            elif event.kind == "cell-load":
+                load = event.fields.get("load")
+                if load is not None:
+                    registry.gauge(f"net.cell.{event.entity}.load").set(load)
+                clients = event.fields.get("clients")
+                if clients is not None:
+                    registry.gauge(f"net.cell.{event.entity}.clients").set(
+                        clients
+                    )
+            elif event.kind == "associate":
+                if event.fields.get("previous") is not None:
+                    registry.counter("net.association.churn").inc()
 
     def attach(self, bus: TraceBus) -> "MetricsCollector":
         bus.subscribe(self)

@@ -26,6 +26,7 @@ from repro.phy.channel import (
 from repro.phy.battery import Battery
 from repro.phy.mobility import (
     LinearMobility,
+    RandomWaypoint,
     WaypointMobility,
     quality_from_mobility,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Modulation",
     "PowerState",
     "Radio",
+    "RandomWaypoint",
     "RayleighBlockFading",
     "RadioPowerModel",
     "ScriptedLinkQuality",

@@ -78,6 +78,40 @@ def test_utilisation_cap_validation():
         server.can_admit(client, utilisation_cap=0.0)
     with pytest.raises(ValueError):
         server.can_admit(client, utilisation_cap=1.5)
+    with pytest.raises(ValueError):
+        HotspotServer(sim, utilisation_cap=0.0)
+    with pytest.raises(ValueError):
+        HotspotServer(sim, utilisation_cap=1.1)
+
+
+def test_constructor_cap_is_the_default_budget():
+    # The satellite: the 0.9 default is now a constructor parameter, so
+    # a fleet cell can run a tighter (or looser) admission budget.
+    sim = Simulator()
+    tight = HotspotServer(sim, utilisation_cap=0.3)
+    loose = HotspotServer(sim, utilisation_cap=0.9)
+    # Bluetooth effective ~615 kb/s: 0.3 budgets ~184 kb/s.
+    client_a = make_client(sim, "a", 128_000.0)
+    client_b = make_client(sim, "b", 128_000.0)
+    assert tight.can_admit(client_a)
+    tight.register(client_a)
+    assert not tight.can_admit(client_b)  # 256k > 184k budget
+    loose.register(make_client(sim, "a2", 128_000.0))
+    assert loose.can_admit(client_b)  # 256k < 553k budget
+    # A per-call cap still overrides the configured default.
+    assert tight.can_admit(client_b, utilisation_cap=0.9)
+
+
+def test_explicit_cap_argument_overrides_constructor():
+    sim = Simulator()
+    server = HotspotServer(sim, utilisation_cap=0.9)
+    for i in range(4):
+        server.register(make_client(sim, f"c{i}", 120_000.0))
+    # 5 x 120 kb/s = 600 kb/s: over the 0.9 budget (~553 kb/s) but
+    # within the raw channel rate (~615 kb/s).
+    fifth = make_client(sim, "c4", 120_000.0)
+    assert not server.can_admit(fifth)
+    assert server.can_admit(fifth, utilisation_cap=1.0)
 
 
 def test_giant_contract_rejected_everywhere():

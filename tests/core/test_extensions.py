@@ -143,6 +143,18 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["explode"])
 
+    def test_fleet_defaults_do_not_leak_into_other_commands(self):
+        # Regression: argparse parents= shares action objects, so the
+        # fleet subparser's bigger defaults (24 clients, 120 s) once
+        # bled into fig2/fig1/sweeps via set_defaults().
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        fig2 = parser.parse_args(["fig2"])
+        assert (fig2.clients, fig2.duration) == (3, 60.0)
+        fleet = parser.parse_args(["fleet"])
+        assert (fleet.clients, fleet.duration) == (24, 120.0)
+
 
 class TestCliSweeps:
     def test_sweep_schedulers_runs(self, capsys):

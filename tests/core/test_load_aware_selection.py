@@ -1,0 +1,97 @@
+"""Load-aware interface selection: aggregate rate steers channel choice.
+
+The paper's three-client testbed never saturated Bluetooth, so the
+original policy only checked the *client's own* contracted rate against
+the channel.  Fleet cells concentrate many co-located clients; without
+the aggregate check they would all pick Bluetooth and starve.
+"""
+
+import pytest
+
+from repro.core import (
+    HotspotClient,
+    HotspotServer,
+    QoSContract,
+    bluetooth_interface,
+    wlan_interface,
+)
+from repro.core.server import InterfaceSelectionPolicy
+from repro.sim import Simulator
+
+
+def make_client(sim, name, rate=128_000.0):
+    available = {
+        "bluetooth": bluetooth_interface(sim, name=f"{name}/bt"),
+        "wlan": wlan_interface(sim, name=f"{name}/wlan"),
+    }
+    return HotspotClient(
+        sim, name, QoSContract(client=name, stream_rate_bps=rate), available
+    )
+
+
+class TestPolicy:
+    def test_without_committed_rates_behaviour_is_unchanged(self):
+        sim = Simulator()
+        policy = InterfaceSelectionPolicy()
+        client = make_client(sim, "c0")
+        assert policy.select(client, 0.0) == "bluetooth"
+        assert policy.select(client, 0.0, None) == "bluetooth"
+
+    def test_committed_rate_pushes_selection_to_the_next_channel(self):
+        sim = Simulator()
+        policy = InterfaceSelectionPolicy()
+        client = make_client(sim, "c0")
+        # Bluetooth effective ~615 kb/s; margin 1.5 on (committed + own)
+        # rate: 300 kb/s committed -> (300+128)*1.5 = 642 > 615.
+        committed = {"bluetooth": 300_000.0}
+        assert policy.select(client, 0.0, committed) == "wlan"
+
+    def test_headroom_keeps_the_preferred_channel(self):
+        sim = Simulator()
+        policy = InterfaceSelectionPolicy()
+        client = make_client(sim, "c0")
+        committed = {"bluetooth": 100_000.0}  # (100+128)*1.5 = 342 < 615
+        assert policy.select(client, 0.0, committed) == "bluetooth"
+
+
+class TestServerIntegration:
+    def run_server(self, n_clients, load_aware):
+        sim = Simulator()
+        server = HotspotServer(sim, load_aware_selection=load_aware)
+        for i in range(n_clients):
+            client = make_client(sim, f"c{i}")
+            server.register(client)
+            server.ingest(f"c{i}", 100_000)
+        server.start()
+        sim.run(until=2.0)
+        return server
+
+    def assignments(self, server):
+        return [s.interface for s in server.sessions.values()]
+
+    def test_default_server_keeps_legacy_bluetooth_first(self):
+        server = self.run_server(6, load_aware=False)
+        assert self.assignments(server) == ["bluetooth"] * 6
+
+    def test_load_aware_server_spreads_across_channels(self):
+        server = self.run_server(6, load_aware=True)
+        chosen = self.assignments(server)
+        # (committed + 128k) * 1.5 <= 615k admits at most 3 onto BT:
+        # (256+128)*1.5 = 576 fits, (384+128)*1.5 = 768 does not.
+        assert chosen.count("bluetooth") == 3
+        assert chosen.count("wlan") == 3
+
+    def test_spread_is_stable_across_rounds(self):
+        sim = Simulator()
+        server = HotspotServer(sim, load_aware_selection=True)
+        for i in range(4):
+            client = make_client(sim, f"c{i}")
+            server.register(client)
+            server.ingest(f"c{i}", 400_000)
+        server.start()
+        sim.run(until=2.0)
+        first = [s.switchovers for s in server.sessions.values()]
+        sim.run(until=10.0)
+        second = [s.switchovers for s in server.sessions.values()]
+        # No oscillation: once spread, assignments do not churn.
+        assert first == second

@@ -10,6 +10,7 @@ from repro.exp.aggregate import (
     FieldStats,
     aggregate,
     dump_json,
+    flatten_numeric_fields,
     merge_metric_snapshots,
     summary_table,
     t_critical_95,
@@ -106,6 +107,67 @@ class TestAggregate:
     def test_dump_json_sorted_and_stable(self):
         payload = {"b": 1, "a": [1, 2]}
         assert dump_json(payload) == json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestDictFieldFlattening:
+    def test_flatten_numeric_fields_recurses_with_dotted_names(self):
+        out = {}
+        flatten_numeric_fields(
+            "cells",
+            {"ap1": {"load": 0.5, "clients": 3}, "ap0": {"load": 0.25}},
+            out,
+        )
+        assert out == {
+            "cells.ap0.load": [0.25],
+            "cells.ap1.load": [0.5],
+            "cells.ap1.clients": [3.0],
+        }
+
+    def test_flatten_skips_non_numeric_leaves(self):
+        out = {}
+        flatten_numeric_fields(
+            "x", {"name": "ap0", "ok": True, "log": [1, 2], "n": 2}, out
+        )
+        assert out == {"x.n": [2.0]}
+
+    def test_aggregate_folds_dict_fields_per_cell(self):
+        # Regression: per-cell breakdown dicts were silently dropped
+        # from campaign aggregation; they must fold into dotted numeric
+        # fields with ordinary across-seed statistics.
+        results = [
+            make_result(
+                {"g": 1},
+                seed,
+                {
+                    "label": "fleet",
+                    "qos_maintained": True,
+                    "cells": {
+                        "ap0": {"bursts_served": 10 + seed, "clients": 3},
+                        "ap1": {"bursts_served": 20 + seed, "clients": 5},
+                    },
+                },
+            )
+            for seed in (0, 1)
+        ]
+        (summary,) = aggregate(results)
+        assert summary.stats["cells.ap0.bursts_served"].mean == 10.5
+        assert summary.stats["cells.ap1.bursts_served"].mean == 20.5
+        assert summary.stats["cells.ap0.clients"].n == 2
+
+    def test_aggregate_ignores_non_numeric_dict_content(self):
+        results = [
+            make_result(
+                {"g": 1},
+                0,
+                {
+                    "label": "fleet",
+                    "qos_maintained": True,
+                    "cells": {"ap0": {"name": "ap0", "timeline": [1, 2]}},
+                },
+            )
+        ]
+        (summary,) = aggregate(results)
+        assert not any(k.startswith("cells.") for k in summary.stats)
 
 
 class TestMergeMetricSnapshots:

@@ -1,0 +1,78 @@
+"""Association registry semantics: attachment, churn, history."""
+
+import pytest
+
+from repro.net.association import AssociationManager
+from repro.net.topology import linear_deployment
+from repro.sim import Simulator
+
+
+def make_manager():
+    sim = Simulator()
+    return sim, AssociationManager(sim, linear_deployment(2))
+
+
+def test_first_attachment_is_not_churn():
+    _, mgr = make_manager()
+    mgr.associate("c0", "ap0")
+    assert mgr.site_of("c0") == "ap0"
+    assert mgr.churn == 0
+
+
+def test_reassociation_counts_churn():
+    _, mgr = make_manager()
+    mgr.associate("c0", "ap0")
+    mgr.associate("c0", "ap1")
+    assert mgr.site_of("c0") == "ap1"
+    assert mgr.churn == 1
+
+
+def test_same_site_is_idempotent():
+    _, mgr = make_manager()
+    mgr.associate("c0", "ap0")
+    mgr.associate("c0", "ap0")
+    assert mgr.churn == 0
+    assert len(mgr.log) == 1
+
+
+def test_unknown_site_rejected():
+    _, mgr = make_manager()
+    with pytest.raises(KeyError):
+        mgr.associate("c0", "ap9")
+
+
+def test_disassociate_clears_attachment():
+    _, mgr = make_manager()
+    mgr.associate("c0", "ap0")
+    mgr.disassociate("c0")
+    assert mgr.site_of("c0") is None
+    mgr.disassociate("c0")  # idempotent
+
+
+def test_clients_of_sorted():
+    _, mgr = make_manager()
+    for name in ("c2", "c0", "c1"):
+        mgr.associate(name, "ap0")
+    mgr.associate("c1", "ap1")
+    assert mgr.clients_of("ap0") == ["c0", "c2"]
+    assert mgr.clients_of("ap1") == ["c1"]
+
+
+def test_log_records_simulation_time():
+    sim, mgr = make_manager()
+    mgr.associate("c0", "ap0")
+    sim.run(until=5.0)
+    mgr.associate("c0", "ap1")
+    assert mgr.log == [(0.0, "c0", "ap0"), (5.0, "c0", "ap1")]
+
+
+def test_manager_is_truthy_even_while_empty():
+    # Regression: `association or AssociationManager(...)` silently built
+    # a second registry because an empty manager was falsy via __len__.
+    _, mgr = make_manager()
+    assert len(mgr) == 0
+    from repro.net.fleet import FleetCoordinator
+
+    sim = mgr.sim
+    fleet = FleetCoordinator(sim, mgr.topology, mgr, gauge_interval_s=0.0)
+    assert fleet.association is mgr

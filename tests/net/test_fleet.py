@@ -1,0 +1,125 @@
+"""Fleet coordination: admission steering, overload overflow, accounting."""
+
+import pytest
+
+from repro.core import (
+    HotspotClient,
+    QoSContract,
+    bluetooth_interface,
+    wlan_interface,
+)
+from repro.core.server import AdmissionError
+from repro.net.association import AssociationManager
+from repro.net.fleet import FleetCoordinator
+from repro.net.topology import linear_deployment
+from repro.sim import Simulator
+
+
+def make_client(sim, name, rate=128_000.0):
+    available = {
+        "bluetooth": bluetooth_interface(sim, name=f"{name}/bt"),
+        "wlan": wlan_interface(sim, name=f"{name}/wlan"),
+    }
+    contract = QoSContract(client=name, stream_rate_bps=rate)
+    return HotspotClient(sim, name, contract, available)
+
+
+def make_fleet(n_aps=2, **kwargs):
+    sim = Simulator()
+    topology = linear_deployment(n_aps, spacing_m=50.0)
+    fleet = FleetCoordinator(sim, topology, gauge_interval_s=0.0, **kwargs)
+    return sim, fleet
+
+
+class TestSteering:
+    def test_new_client_lands_on_best_covering_cell(self):
+        sim, fleet = make_fleet()
+        cell = fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        assert cell.name == "ap0"
+        assert fleet.association.site_of("c0") == "ap0"
+
+    def test_equal_coverage_prefers_least_loaded(self):
+        sim, fleet = make_fleet()
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))  # loads ap0
+        # The midpoint covers both cells equally; ap1 is emptier.
+        cell = fleet.admit(make_client(sim, "c1"), (50.0, 0.0))
+        assert cell.name == "ap1"
+
+    def test_overloaded_best_cell_overflows_to_second_best(self):
+        # Cap the per-channel budget so one contract fills a cell: the
+        # second client's best-covering cell is full, and it must land
+        # on the farther (worse-quality, admissible) one.
+        sim, fleet = make_fleet(utilisation_cap=0.04)
+        first = fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        assert first.name == "ap0"
+        second = fleet.admit(make_client(sim, "c1"), (25.0, 0.0))
+        assert second.name == "ap1"
+
+    def test_no_admissible_cell_raises_and_counts(self):
+        sim, fleet = make_fleet(n_aps=1, utilisation_cap=0.04)
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        with pytest.raises(AdmissionError):
+            fleet.admit(make_client(sim, "c1"), (25.0, 0.0))
+        assert fleet.rejected == 1
+
+    def test_position_outside_all_coverage_rejected(self):
+        sim, fleet = make_fleet()
+        with pytest.raises(AdmissionError):
+            fleet.admit(make_client(sim, "c0"), (5000.0, 0.0))
+
+
+class TestIngestRouting:
+    def test_ingest_reaches_the_serving_cell_session(self):
+        sim, fleet = make_fleet()
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        fleet.ingest("c0", 1000)
+        assert fleet.cells["ap0"].server.sessions["c0"].backlog_bytes == 1000
+
+    def test_ingest_survives_the_handoff_window(self):
+        # Mid-handoff the session belongs to no server; bytes must still
+        # land on the shared session object.
+        sim, fleet = make_fleet()
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        session = fleet.cells["ap0"].server.detach_session("c0")
+        fleet.ingest("c0", 2048)
+        assert session.backlog_bytes == 2048
+        fleet.cells["ap1"].server.adopt_session(session)
+        assert fleet.cells["ap1"].server.sessions["c0"].backlog_bytes == 2048
+
+    def test_unknown_client_and_bad_size_rejected(self):
+        sim, fleet = make_fleet()
+        with pytest.raises(KeyError):
+            fleet.ingest("ghost", 100)
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        with pytest.raises(ValueError):
+            fleet.ingest("c0", 0)
+
+
+class TestAccounting:
+    def test_cell_summary_shape(self):
+        sim, fleet = make_fleet()
+        fleet.admit(make_client(sim, "c0"), (25.0, 0.0))
+        summary = fleet.cell_summary()
+        assert sorted(summary) == ["ap0", "ap1"]
+        assert summary["ap0"]["clients"] == 1
+        assert summary["ap1"]["clients"] == 0
+        for stats in summary.values():
+            assert set(stats) == {
+                "clients", "adoptions", "load_fraction",
+                "bursts_served", "bytes_served", "bursts_failed",
+            }
+
+    def test_load_fraction_tracks_contracts(self):
+        sim, fleet = make_fleet()
+        fleet.admit(make_client(sim, "c0", rate=128_000.0), (25.0, 0.0))
+        cell = fleet.cells["ap0"]
+        # Unassigned sessions count against their hottest channel —
+        # bluetooth, the smallest capacity.
+        bt_rate = fleet.capacity_bps["bluetooth"]
+        assert fleet.load_fraction(cell) == pytest.approx(128_000.0 / bt_rate)
+
+    def test_double_start_rejected(self):
+        sim, fleet = make_fleet()
+        fleet.start()
+        with pytest.raises(RuntimeError):
+            fleet.start()

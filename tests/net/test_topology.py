@@ -1,0 +1,115 @@
+"""Topology geometry: link budgets, coverage footprints, site ranking."""
+
+import pytest
+
+from repro.net.topology import (
+    BLUETOOTH_LINK_BUDGET,
+    WLAN_LINK_BUDGET,
+    AccessPointSite,
+    LinkBudget,
+    Topology,
+    linear_deployment,
+)
+
+
+class TestLinkBudget:
+    def test_quality_ramp_endpoints(self):
+        budget = LinkBudget(tx_power_dbm=15.0)
+        # SNR = tx - loss + 95; floor 5 dB -> loss 105, ceiling 25 -> loss 85.
+        assert budget.quality(105.0) == 0.0
+        assert budget.quality(120.0) == 0.0
+        assert budget.quality(85.0) == 1.0
+        assert budget.quality(40.0) == 1.0
+
+    def test_quality_linear_between(self):
+        budget = LinkBudget(tx_power_dbm=15.0)
+        assert budget.quality(95.0) == pytest.approx(0.5)
+
+    def test_ceiling_must_exceed_floor(self):
+        with pytest.raises(ValueError):
+            LinkBudget(tx_power_dbm=10.0, snr_floor_db=10.0, snr_ceiling_db=10.0)
+
+
+class TestAccessPointSite:
+    def test_quality_decreases_with_distance(self):
+        site = AccessPointSite("ap", (0.0, 0.0))
+        near = site.quality("wlan", (5.0, 0.0))
+        far = site.quality("wlan", (50.0, 0.0))
+        assert near > far
+
+    def test_unknown_radio_kind_is_zero(self):
+        site = AccessPointSite("ap", (0.0, 0.0))
+        assert site.quality("gprs", (1.0, 0.0)) == 0.0
+
+    def test_bluetooth_dies_before_wlan(self):
+        # The paper's budget gap, per cell: the BT footprint is smaller.
+        site = AccessPointSite("ap", (0.0, 0.0))
+        bt = site.coverage_radius_m("bluetooth", min_quality=0.05)
+        wlan = site.coverage_radius_m("wlan", min_quality=0.05)
+        assert bt < wlan
+
+    def test_coverage_radius_brackets_the_quality_threshold(self):
+        site = AccessPointSite("ap", (0.0, 0.0))
+        radius = site.coverage_radius_m("wlan", min_quality=0.5)
+        assert site.quality("wlan", (radius - 0.1, 0.0)) >= 0.5
+        assert site.quality("wlan", (radius + 0.1, 0.0)) < 0.5
+
+    def test_cell_quality_is_best_radio(self):
+        site = AccessPointSite("ap", (0.0, 0.0))
+        xy = (30.0, 0.0)  # outside BT range, inside WLAN
+        assert site.cell_quality(xy) == site.quality("wlan", xy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessPointSite("", (0.0, 0.0))
+        with pytest.raises(ValueError):
+            AccessPointSite("ap", (0.0, 0.0), radios={})
+
+
+class TestTopology:
+    def test_duplicate_site_rejected(self):
+        topo = Topology([AccessPointSite("ap0", (0.0, 0.0))])
+        with pytest.raises(ValueError):
+            topo.add_site(AccessPointSite("ap0", (1.0, 0.0)))
+
+    def test_unknown_site_lists_known(self):
+        topo = linear_deployment(2)
+        with pytest.raises(KeyError, match="ap0"):
+            topo.site("nope")
+
+    def test_ranked_sites_orders_by_quality(self):
+        topo = linear_deployment(3, spacing_m=50.0)
+        ranked = topo.ranked_sites((25.0, 0.0))  # on top of ap0
+        assert [site.name for site, _ in ranked] == ["ap0", "ap1", "ap2"]
+
+    def test_equal_quality_breaks_ties_on_name(self):
+        topo = linear_deployment(2, spacing_m=50.0)
+        midpoint = (50.0, 0.0)
+        ranked = topo.ranked_sites(midpoint)
+        assert ranked[0][1] == pytest.approx(ranked[1][1])
+        assert [site.name for site, _ in ranked] == ["ap0", "ap1"]
+
+    def test_best_site_honours_exclusion(self):
+        topo = linear_deployment(2, spacing_m=50.0)
+        best = topo.best_site((25.0, 0.0), exclude=("ap0",))
+        assert best is not None and best[0].name == "ap1"
+        assert topo.best_site((25.0, 0.0), exclude=("ap0", "ap1")) is None
+
+
+class TestLinearDeployment:
+    def test_sites_centred_in_their_slots(self):
+        topo = linear_deployment(4, spacing_m=50.0, y_m=10.0)
+        assert [site.xy for site in topo] == [
+            (25.0, 10.0), (75.0, 10.0), (125.0, 10.0), (175.0, 10.0),
+        ]
+
+    def test_default_budgets_match_module_constants(self):
+        (site,) = linear_deployment(1).sites()
+        assert site.radios["wlan"] == WLAN_LINK_BUDGET
+        assert site.radios["bluetooth"] == BLUETOOTH_LINK_BUDGET
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_deployment(0)
+        with pytest.raises(ValueError):
+            linear_deployment(2, spacing_m=0.0)
