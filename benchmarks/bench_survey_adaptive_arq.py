@@ -12,7 +12,6 @@ import random
 from conftest import run_once
 
 from repro.link import AdaptiveErrorControl
-from repro.link.adaptive import default_schemes
 from repro.link.fec import STANDARD_CODES
 from repro.metrics import format_table
 from repro.phy import GilbertElliottChannel

@@ -14,7 +14,7 @@ from conftest import run_once
 
 from repro.devices import wlan_cf_card
 from repro.mac import DcfStation, Medium
-from repro.phy import Radio, RadioPowerModel, PowerState, Transition
+from repro.phy import Radio, RadioPowerModel, PowerState
 from repro.metrics import format_table
 from repro.sim import RandomStreams, Simulator
 

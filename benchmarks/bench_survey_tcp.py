@@ -94,7 +94,7 @@ def run_split(rate, seed=9):
     out = []
 
     def wait(sim):
-        stats = yield done
+        yield done
         out.append(sim.now)
 
     sim.process(wait(sim))

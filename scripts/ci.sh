@@ -9,6 +9,14 @@ export PYTHONPATH=src
 echo "== compile gate =="
 python -m compileall -q src
 
+echo "== lint gate =="
+if command -v ruff > /dev/null 2>&1; then
+  ruff check src tests scripts examples benchmarks
+else
+  echo "ruff not found; using stdlib fallback linter"
+  python scripts/lint.py
+fi
+
 echo "== tier-1 test suite =="
 python -m pytest tests/ -q
 
@@ -35,6 +43,38 @@ with open(sys.argv[1], encoding="utf-8") as stream:
 if count == 0:
     sys.exit("trace smoke check produced an empty trace")
 print(f"trace ok: {count} events across layers {sorted(layers)}")
+EOF
+
+echo "== scenario registry smoke check =="
+python -m repro scenarios > /dev/null
+python - <<'EOF'
+import json
+import subprocess
+import sys
+
+out = subprocess.run(
+    [sys.executable, "-m", "repro", "scenarios", "--json"],
+    check=True, capture_output=True, text=True,
+).stdout
+entries = {e["name"]: e for e in json.loads(out)}
+expected = {
+    "hotspot", "faulty-hotspot", "unscheduled", "psm-baseline",
+    "fleet-hotspot",
+}
+missing = expected - set(entries)
+if missing:
+    sys.exit(f"scenarios smoke: missing registrations: {sorted(missing)}")
+for name, entry in entries.items():
+    if not entry["declarative"]:
+        sys.exit(f"scenarios smoke: {name} has no spec factory")
+    if not entry["parameters"]:
+        sys.exit(f"scenarios smoke: {name} lists no parameters")
+if not any(
+    p["name"] == "n_aps" and p["default"] == 4
+    for p in entries["fleet-hotspot"]["parameters"]
+):
+    sys.exit("scenarios smoke: fleet-hotspot did not introspect n_aps=4")
+print(f"scenarios ok: {len(entries)} registered, all declarative")
 EOF
 
 echo "== campaign smoke check =="

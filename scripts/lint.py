@@ -1,0 +1,291 @@
+#!/usr/bin/env python
+"""Stdlib fallback linter for environments without ruff.
+
+Covers the correctness subset of the ruff gate configured in
+``pyproject.toml`` using only ``ast``:
+
+- F401  module-level import never referenced in the file
+- F841  local variable assigned but never used
+- E711  comparison to ``None`` with ``==`` / ``!=``
+- E712  comparison to ``True`` / ``False`` with ``==`` / ``!=``
+- F632  ``is`` / ``is not`` comparison against a str/int/tuple literal
+
+Deliberately conservative: dynamic scopes (``locals``/``eval``/
+``exec``/star-imports), ``# noqa`` lines, ``__init__.py`` re-exports
+and underscore-named bindings are all skipped, so a finding from this
+script is actionable, not noise.  ``scripts/ci.sh`` prefers real ruff
+when it is on PATH and falls back to this script otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[Path, int, str, str]
+
+DEFAULT_TARGETS = ("src", "tests", "scripts", "examples", "benchmarks")
+
+
+def _noqa_lines(source: str) -> set:
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if "# noqa" in line
+    }
+
+
+def _names_loaded(tree: ast.AST) -> set:
+    """Every identifier the module could reference an import through."""
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # ``pkg.sub.attr`` marks ``pkg`` used via the attribute root.
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    used |= _forward_reference_names(tree)
+    return used
+
+
+def _forward_reference_names(tree: ast.AST) -> set:
+    """Names referenced through string annotations (``sim: "Simulator"``).
+
+    Keeps ``if TYPE_CHECKING:`` imports used only in quoted forward
+    references from being flagged as unused, same as ruff.
+    """
+    annotations: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotations.append(node.returns)
+    used = set()
+    for annotation in annotations:
+        for node in ast.walk(annotation):
+            if not (
+                isinstance(node, ast.Constant) and isinstance(node.value, str)
+            ):
+                continue
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            for name in ast.walk(parsed):
+                if isinstance(name, ast.Name):
+                    used.add(name.id)
+    return used
+
+
+def _dunder_all(tree: ast.Module) -> set:
+    exported = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        for element in ast.walk(value):
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                exported.add(element.value)
+    return exported
+
+
+def _check_imports(
+    path: Path, tree: ast.Module, noqa: set
+) -> Iterator[Finding]:
+    if path.name == "__init__.py":
+        return
+    used = _names_loaded(tree)
+    used |= _dunder_all(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            aliases = [(a, (a.asname or a.name).split(".")[0]) for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__" or any(
+                a.name == "*" for a in node.names
+            ):
+                continue
+            aliases = [(a, a.asname or a.name) for a in node.names]
+        else:
+            continue
+        for alias, binding in aliases:
+            # ``import x as x`` is the PEP 484 re-export idiom.
+            if alias.asname is not None and alias.asname == alias.name:
+                continue
+            if node.lineno in noqa or binding.startswith("_"):
+                continue
+            if binding not in used:
+                yield (
+                    path,
+                    node.lineno,
+                    "F401",
+                    f"`{alias.name}` imported but unused",
+                )
+
+
+def _is_dynamic_scope(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in (
+                "locals",
+                "eval",
+                "exec",
+                "vars",
+            ):
+                return True
+    return False
+
+
+def _check_unused_locals(
+    path: Path, tree: ast.Module, noqa: set
+) -> Iterator[Finding]:
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _is_dynamic_scope(func):
+            continue
+        loads = set()
+        stores = {}
+        nested_scopes = set()
+        for node in ast.walk(func):
+            if node is not func and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                nested_scopes.add(node)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Load):
+                    loads.add(node.id)
+                elif isinstance(node.ctx, ast.Store):
+                    stores.setdefault(node.id, []).append(node)
+        # A name loaded inside any nested scope counts as used.
+        for scope in nested_scopes:
+            for node in ast.walk(scope):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    loads.add(node.id)
+        for node in func.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("_") or name in loads:
+                continue
+            if len(stores.get(name, [])) != 1:
+                continue
+            if node.lineno in noqa:
+                continue
+            yield (
+                path,
+                node.lineno,
+                "F841",
+                f"local variable `{name}` is assigned to but never used",
+            )
+
+
+def _check_comparisons(
+    path: Path, tree: ast.Module, noqa: set
+) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or node.lineno in noqa:
+            continue
+        for op, comparator in zip(node.ops, node.comparators):
+            operands = (node.left, comparator)
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for operand in operands:
+                    if not isinstance(operand, ast.Constant):
+                        continue
+                    if operand.value is None:
+                        yield (
+                            path,
+                            node.lineno,
+                            "E711",
+                            "comparison to None; use `is None` / `is not None`",
+                        )
+                    elif operand.value is True or operand.value is False:
+                        yield (
+                            path,
+                            node.lineno,
+                            "E712",
+                            f"comparison to {operand.value}; use the value "
+                            "directly or `is`",
+                        )
+            elif isinstance(op, (ast.Is, ast.IsNot)):
+                for operand in operands:
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, (str, int, bytes, float)
+                    ) and not isinstance(operand.value, bool):
+                        yield (
+                            path,
+                            node.lineno,
+                            "F632",
+                            "`is` comparison against a literal; use `==`",
+                        )
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, "E999", f"syntax error: {exc.msg}")]
+    noqa = _noqa_lines(source)
+    findings: List[Finding] = []
+    findings.extend(_check_imports(path, tree, noqa))
+    findings.extend(_check_unused_locals(path, tree, noqa))
+    findings.extend(_check_comparisons(path, tree, noqa))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    targets = argv or [str(root / t) for t in DEFAULT_TARGETS]
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    findings: List[Finding] = []
+    for file in files:
+        findings.extend(lint_file(file))
+    for path, line, code, message in findings:
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{line}: {code} {message}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"lint ok: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

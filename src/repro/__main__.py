@@ -42,6 +42,8 @@ from repro.exp import (
     campaign_payload,
     dumps_strict,
     run_campaign,
+    scenario_entries,
+    scenario_entry,
     scenario_names,
     summary_rows,
     write_csv,
@@ -421,6 +423,29 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List registered scenarios with their spec-introspected parameters."""
+    entries = (
+        [scenario_entry(args.scenario)] if args.scenario else scenario_entries()
+    )
+    if args.json:
+        print(dumps_strict([entry.describe() for entry in entries], indent=2))
+        return 0
+    for index, entry in enumerate(entries):
+        if index:
+            print()
+        tag = " (declarative spec)" if entry.spec_factory is not None else ""
+        print(f"{entry.name}{tag}")
+        if entry.description:
+            print(f"  {entry.description}")
+        for parameter in entry.parameters:
+            annotation = f": {parameter.annotation}" if parameter.annotation else ""
+            print(
+                f"    {parameter.name}{annotation} = {parameter.default_repr()}"
+            )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run the hotspot scenario fully traced and summarise the stream."""
     # The trace subcommand always collects metrics (they feed the top-N
@@ -646,6 +671,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.9,
         help="admission-control utilisation cap per cell channel",
     )
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        parents=[json_flag],
+        help="list registered scenarios with their parameters and defaults",
+        description="Every scenario a campaign can sweep, with the "
+        "parameters and defaults introspected from its declarative spec "
+        "factory (repro.build.presets).",
+    )
+    scenarios_parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        help="show a single scenario instead of all of them",
+    )
     trace_parser = sub.add_parser(
         "trace",
         parents=[shared, workload],
@@ -665,6 +703,7 @@ _COMMANDS = {
     "sweep-bursts": cmd_sweep_bursts,
     "campaign": cmd_campaign,
     "fleet": cmd_fleet,
+    "scenarios": cmd_scenarios,
     "trace": cmd_trace,
 }
 

@@ -222,6 +222,75 @@ class TraceTraffic(TrafficSource):
             yield (time_s, nbytes, kind)
 
 
+#: Registry behind :func:`build_source`: kind -> factory taking
+#: ``(bitrate_bps, rng, options)``.  Register new kinds to make them
+#: addressable from a :class:`repro.build.TrafficSpec`.
+_SOURCE_KINDS: dict = {}
+
+
+def register_traffic_kind(kind: str, factory) -> None:
+    """Register ``factory(bitrate_bps, rng, options) -> TrafficSource``."""
+    existing = _SOURCE_KINDS.get(kind)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"traffic kind {kind!r} already registered")
+    _SOURCE_KINDS[kind] = factory
+
+
+def traffic_kinds() -> List[str]:
+    """The registered source kinds, sorted."""
+    return sorted(_SOURCE_KINDS)
+
+
+def build_source(
+    kind: str = "mp3",
+    bitrate_bps: float = 128_000.0,
+    rng: Optional[random.Random] = None,
+    options: Optional[dict] = None,
+) -> TrafficSource:
+    """Construct a source from declarative data (kind + options).
+
+    The composition layer (:mod:`repro.build`) calls this with each
+    node's ``TrafficSpec``; ``options`` pass through to the source's
+    constructor, ``rng`` is the node's seeded substream (ignored by
+    deterministic sources).
+    """
+    factory = _SOURCE_KINDS.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown traffic kind {kind!r}; known: {traffic_kinds()}"
+        )
+    return factory(bitrate_bps, rng, dict(options or {}))
+
+
+register_traffic_kind(
+    "mp3",
+    lambda bitrate_bps, rng, options: Mp3Stream(
+        bitrate_bps=bitrate_bps, rng=rng, **options
+    ),
+)
+def _poisson_from_bitrate(bitrate_bps, rng, options):
+    # Default the arrival process to the requested mean bitrate so a bare
+    # ``TrafficSpec(kind="poisson", bitrate_bps=...)`` is enough.
+    packet_bytes = options.setdefault("packet_bytes", 1_000)
+    options.setdefault("mean_interarrival_s", packet_bytes * 8.0 / bitrate_bps)
+    return PoissonTraffic(rng=rng, **options)
+
+
+register_traffic_kind("poisson", _poisson_from_bitrate)
+register_traffic_kind(
+    "onoff",
+    lambda bitrate_bps, rng, options: OnOffTraffic(rng=rng, **options),
+)
+register_traffic_kind(
+    "video",
+    lambda bitrate_bps, rng, options: VideoStream(**options),
+)
+register_traffic_kind(
+    "trace",
+    lambda bitrate_bps, rng, options: TraceTraffic(**options),
+)
+
+
 def merge_arrivals(sources: Iterable[TrafficSource], until_s: float) -> List[Arrival]:
     """Time-merge several sources into one ordered arrival list."""
     merged: List[Arrival] = []

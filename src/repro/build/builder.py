@@ -1,0 +1,584 @@
+"""WorldBuilder: assemble a runnable world from a :class:`WorldSpec`.
+
+One builder replaces the hand-wired assembly that every scenario runner
+used to copy: Simulator + observability attachment, seeded
+:class:`~repro.sim.RandomStreams`, device platform, per-client
+interfaces and contracts, the delivery substrate (Hotspot server, bare
+radios, 802.11 PSM MAC, or a multi-cell fleet), traffic pumps, fault
+injector, and the teardown that collects :class:`ClientOutcome`\\ s into
+a :class:`ScenarioResult`.
+
+Determinism contract: building twice from the same spec and seed yields
+byte-identical ``summary_record()`` output.  Object construction order
+is part of that contract (simultaneous events tie-break on scheduling
+order), so the per-client assembly sequence below deliberately mirrors
+the historical scenario runners — the golden-equivalence tests pin it.
+
+Usage::
+
+    world = WorldBuilder(spec).build(obs=obs)
+    result = world.run()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.apps.traffic import build_source
+from repro.build.spec import InterfaceSpec, NodeSpec, WorldSpec
+from repro.core.client import HotspotClient
+from repro.core.interfaces import (
+    ManagedInterface,
+    bluetooth_interface,
+    gprs_interface,
+    wlan_interface,
+)
+from repro.core.outcome import (
+    MP3_DECODE_BUSY_FRACTION,
+    ClientOutcome,
+    ScenarioResult,
+    make_stream_contract,
+)
+from repro.core.server import HotspotServer
+from repro.devices import ipaq_3970, wlan_cf_card
+from repro.faults import FaultInjector, FaultPlan
+from repro.metrics.energy import ClientEnergyReport, EnergyBreakdown
+from repro.metrics.qos import PlayoutBuffer
+from repro.phy.channel import ScriptedLinkQuality
+from repro.phy.radio import Radio
+from repro.sim import RandomStreams, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.psm import PsmStation
+
+#: ``fn(node, interface_spec) -> quality signal or None`` — how a world
+#: flavour wires link quality into the interfaces it builds.
+QualityResolver = Callable[[NodeSpec, InterfaceSpec], Optional[Callable[[float], float]]]
+
+_INTERFACE_FACTORIES = {
+    "wlan": wlan_interface,
+    "bluetooth": bluetooth_interface,
+    "gprs": gprs_interface,
+}
+
+
+class World:
+    """A fully assembled, not-yet-run simulation world.
+
+    Holds every layer the builder wired together; :meth:`run` drives the
+    simulation to ``spec.duration_s`` and collects the result.
+    """
+
+    def __init__(
+        self,
+        spec: WorldSpec,
+        sim: Simulator,
+        streams: RandomStreams,
+        platform,
+    ) -> None:
+        self.spec = spec
+        self.sim = sim
+        self.streams = streams
+        self.platform = platform
+        self.clients: List[HotspotClient] = []
+        self.radios: Dict[str, Radio] = {}
+        self.server: Optional[HotspotServer] = None
+        self.injector: Optional[FaultInjector] = None
+        self.fault_plan: Optional[FaultPlan] = None
+        # Fleet layers (delivery="fleet").
+        self.topology = None
+        self.association = None
+        self.fleet = None
+        self.handoff = None
+        # PSM layers (delivery="psm").
+        self.medium = None
+        self.access_point = None
+        self.stations: List["PsmStation"] = []
+        self.playouts: List[PlayoutBuffer] = []
+        self.byte_counts: List[int] = []
+        self._mode: Optional[_DeliveryMode] = None
+        self._ran = False
+
+    def run(self) -> ScenarioResult:
+        """Start the world's actors, simulate, and collect the result."""
+        if self._ran:
+            raise RuntimeError("a World can only run once; build a fresh one")
+        self._ran = True
+        self._mode.start(self)
+        self.sim.run(until=self.spec.duration_s)
+        return self._mode.collect(self)
+
+
+class WorldBuilder:
+    """Assemble a :class:`World` from a :class:`WorldSpec`."""
+
+    def __init__(self, spec: WorldSpec) -> None:
+        self.spec = spec
+
+    def build(self, obs=None) -> World:
+        """Construct the full world; ``obs`` attaches before any process.
+
+        ``obs`` is anything with an ``attach(sim)`` method (e.g.
+        :class:`repro.obs.ObsSession`), attached to the fresh simulator
+        before any actor is created so traces cover the whole run.
+        """
+        spec = self.spec
+        sim = Simulator()
+        if obs is not None:
+            obs.attach(sim)
+        streams = RandomStreams(seed=spec.seed)
+        platform = spec.platform or ipaq_3970()
+        world = World(spec, sim, streams, platform)
+        mode = _MODES[spec.delivery]()
+        world._mode = mode
+        mode.assemble(world)
+        return world
+
+    def run(self, obs=None) -> ScenarioResult:
+        """``build().run()`` in one call."""
+        return self.build(obs=obs).run()
+
+
+# -- shared per-client assembly ------------------------------------------------
+
+
+def _make_interface(
+    world: World, node: NodeSpec, ispec: InterfaceSpec, quality
+) -> ManagedInterface:
+    factory = _INTERFACE_FACTORIES.get(ispec.kind)
+    if factory is None:
+        raise ValueError(f"unknown interface kind {ispec.kind!r}")
+    kwargs = {"name": f"{node.name}/{ispec.kind}", "quality": quality}
+    if ispec.effective_rate_bps is not None:
+        kwargs["effective_rate_bps"] = ispec.effective_rate_bps
+    return factory(world.sim, **kwargs)
+
+
+def scripted_quality(node: NodeSpec, ispec: InterfaceSpec):
+    """Default quality resolver: honour the spec's quality script."""
+    if ispec.quality_script:
+        return ScriptedLinkQuality(ispec.quality_script).quality
+    return None
+
+
+def build_managed_client(
+    world: World,
+    node: NodeSpec,
+    quality_for: QualityResolver = scripted_quality,
+) -> HotspotClient:
+    """Construct one client stack: interfaces → contract → client.
+
+    This is the single per-client assembly path shared by every managed
+    delivery flavour (single-AP hotspot, unscheduled baseline, fleet
+    cells) — interface construction order follows the spec, which fixes
+    event tie-breaking and therefore the determinism contract.
+    """
+    available: Dict[str, ManagedInterface] = {}
+    for ispec in node.interfaces:
+        available[ispec.kind] = _make_interface(
+            world, node, ispec, quality_for(node, ispec)
+        )
+    contract = make_stream_contract(
+        node.name,
+        node.contract_rate_bps,
+        node.buffer_bytes,
+        prebuffer_s=node.prebuffer_s,
+        weight=node.weight,
+    )
+    return HotspotClient(
+        world.sim, node.name, contract, available, platform=world.platform
+    )
+
+
+def register_radios(world: World, client: HotspotClient) -> None:
+    """Expose the client's radios for timeline rendering."""
+    for interface in client.interfaces.values():
+        world.radios[interface.radio.name] = interface.radio
+
+
+def start_traffic(world: World, node: NodeSpec, sink) -> None:
+    """Build the node's source and pump it into ``sink`` until the end."""
+    source = build_source(
+        node.traffic.kind,
+        bitrate_bps=node.traffic.bitrate_bps,
+        rng=world.streams.stream(f"traffic/{node.name}"),
+        options=node.traffic.option_dict,
+    )
+    source.start(world.sim, sink, until_s=world.spec.duration_s)
+
+
+def _resolve_fault_plan(world: World) -> Optional[FaultPlan]:
+    plan = world.spec.fault_plan
+    if callable(plan) and not isinstance(plan, FaultPlan):
+        plan = plan(world.streams)
+    return plan
+
+
+def _scheduler_label(scheduler) -> str:
+    return scheduler if isinstance(scheduler, str) else scheduler.name
+
+
+# -- delivery modes ------------------------------------------------------------
+
+
+class _DeliveryMode:
+    """One way bytes reach clients; assembles, starts and collects."""
+
+    def assemble(self, world: World) -> None:
+        raise NotImplementedError
+
+    def start(self, world: World) -> None:
+        pass
+
+    def collect(self, world: World) -> ScenarioResult:
+        raise NotImplementedError
+
+
+class _HotspotMode(_DeliveryMode):
+    """The paper's system: scheduled bursts under a server resource
+    manager, clients parking their WNICs between bursts."""
+
+    def assemble(self, world: World) -> None:
+        spec = world.spec
+        world.server = HotspotServer(
+            world.sim,
+            scheduler=spec.scheduler,
+            epoch_s=spec.epoch_s,
+            min_burst_bytes=spec.min_burst_bytes,
+            interface_policy=spec.interface_policy,
+            utilisation_cap=spec.utilisation_cap,
+        )
+        world.fault_plan = _resolve_fault_plan(world)
+        for node in spec.clients:
+            client = build_managed_client(world, node)
+            world.server.register(client)
+            world.clients.append(client)
+            register_radios(world, client)
+            if node.prefetch_s > 0:
+                # The proxy fetched this much stream from the wired side
+                # before scheduled delivery begins.
+                world.server.ingest(
+                    node.name,
+                    int(node.prefetch_s * node.contract_rate_bps / 8.0),
+                )
+            start_traffic(world, node, world.server.sink_for(node.name))
+
+    def start(self, world: World) -> None:
+        world.server.start()
+        plan = world.fault_plan
+        if plan is not None and len(plan):
+            world.injector = FaultInjector(world.sim, plan)
+            for client in world.clients:
+                world.injector.bind_client(client)
+            world.injector.bind_server(world.server)
+            world.injector.start()
+
+    def collect(self, world: World) -> ScenarioResult:
+        outcomes = []
+        for client in world.clients:
+            session = world.server.sessions[client.name]
+            outcomes.append(
+                ClientOutcome(
+                    name=client.name,
+                    qos=client.finish(),
+                    energy=client.energy_report(MP3_DECODE_BUSY_FRACTION),
+                    wnic_average_power_w=client.wnic_average_power_w(),
+                    bursts=client.bursts_received,
+                    bytes_received=client.bytes_received,
+                    switchovers=session.switchovers,
+                    interface_log=list(session.interface_log),
+                )
+            )
+        extras: Dict[str, object] = {}
+        if world.injector is not None:
+            managed = [
+                interface
+                for client in world.clients
+                for interface in client.interfaces.values()
+            ]
+            extras = {
+                "faults_injected": world.injector.injected,
+                "radio_outages": sum(i.outages for i in managed),
+                "bursts_failed": sum(
+                    s.bursts_failed for s in world.server.sessions.values()
+                ),
+            }
+        extras.update(world.spec.extras)
+        return ScenarioResult(
+            label=world.spec.label
+            or f"hotspot[{world.server.scheduler.name}]",
+            duration_s=world.spec.duration_s,
+            clients=outcomes,
+            radios=world.radios,
+            server=world.server,
+            extras=extras,
+        )
+
+
+class _UnscheduledMode(_DeliveryMode):
+    """Figure-2 baseline: no power management; the WNIC sits in its
+    listening state the whole run and frames arrive at stream cadence."""
+
+    def assemble(self, world: World) -> None:
+        for node in world.spec.clients:
+            client = build_managed_client(world, node)
+            world.clients.append(client)
+            register_radios(world, client)
+            managed = client.interfaces[node.interfaces[0].kind]
+            start_traffic(world, node, self._sink(world, client, managed))
+
+    def _sink(self, world: World, client: HotspotClient, managed: ManagedInterface):
+        sim = world.sim
+
+        def deliver_frame(nbytes: int, kind: str, c=client, m=managed):
+            c.playout.deliver(sim.now, nbytes)
+            c.bytes_received += nbytes
+            if m.radio.model.name == "wlan-cf":
+                # Receive the frame: rx-vs-idle delta for its airtime.
+                airtime = nbytes * 8.0 / m.effective_rate_bps
+                delta = m.radio.model.power("rx") - m.radio.model.power("idle")
+                m.radio.add_energy_impulse(delta * airtime)
+            else:
+                # Bluetooth: active-vs-connected delta for the frame time.
+                airtime = nbytes * 8.0 / m.effective_rate_bps
+                delta = m.radio.model.power("active") - m.radio.model.power(
+                    "connected"
+                )
+                m.radio.add_energy_impulse(delta * airtime)
+
+        return deliver_frame
+
+    def collect(self, world: World) -> ScenarioResult:
+        outcomes = [
+            ClientOutcome(
+                name=client.name,
+                qos=client.finish(),
+                energy=client.energy_report(MP3_DECODE_BUSY_FRACTION),
+                wnic_average_power_w=client.wnic_average_power_w(),
+                bursts=0,
+                bytes_received=client.bytes_received,
+            )
+            for client in world.clients
+        ]
+        return ScenarioResult(
+            label=world.spec.label or "unscheduled",
+            duration_s=world.spec.duration_s,
+            clients=outcomes,
+            radios=world.radios,
+            extras=dict(world.spec.extras),
+        )
+
+
+class _PsmMode(_DeliveryMode):
+    """Standard 802.11 power-save mode on the full packet-level MAC:
+    every frame flows through the AP, dozing stations fetch buffered
+    frames with the beacon/TIM/PS-Poll machinery."""
+
+    def assemble(self, world: World) -> None:
+        from repro.mac import AccessPoint, Medium, PsmStation
+
+        sim = world.sim
+        world.medium = Medium(sim)
+        world.access_point = AccessPoint(
+            sim, world.medium, "ap", rng=world.streams.stream("ap")
+        )
+        world.byte_counts = [0] * len(world.spec.clients)
+        for index, node in enumerate(world.spec.clients):
+            radio = Radio(sim, wlan_cf_card(), name=f"{node.name}/wlan")
+            playout = PlayoutBuffer(
+                drain_rate_bps=node.contract_rate_bps,
+                prebuffer_s=node.prebuffer_s,
+            )
+            world.playouts.append(playout)
+            world.radios[radio.name] = radio
+
+            def on_receive(frame, p=playout, i=index):
+                p.deliver(sim.now, frame.payload_bytes)
+                world.byte_counts[i] += frame.payload_bytes
+
+            station = PsmStation(
+                sim,
+                world.medium,
+                node.name,
+                world.access_point,
+                radio,
+                rng=world.streams.stream(node.name),
+                on_receive=on_receive,
+            )
+            world.stations.append(station)
+
+            def to_ap(nbytes: int, kind: str, n=node.name):
+                world.access_point.send_data(n, nbytes)
+
+            start_traffic(world, node, to_ap)
+
+    def collect(self, world: World) -> ScenarioResult:
+        duration = world.spec.duration_s
+        outcomes = []
+        for index, radio in enumerate(world.radios.values()):
+            node = world.spec.clients[index]
+            qos = world.playouts[index].finish(duration)
+            outcomes.append(
+                ClientOutcome(
+                    name=node.name,
+                    qos=qos,
+                    energy=ClientEnergyReport(
+                        client=node.name,
+                        radios=[EnergyBreakdown.of(radio)],
+                        platform=world.platform,
+                        platform_busy_fraction=MP3_DECODE_BUSY_FRACTION,
+                        elapsed_s=duration,
+                    ),
+                    wnic_average_power_w=radio.average_power_w(),
+                    bursts=world.stations[index].polls_sent,
+                    bytes_received=world.byte_counts[index],
+                )
+            )
+        return ScenarioResult(
+            label=world.spec.label or "802.11-psm",
+            duration_s=duration,
+            clients=outcomes,
+            radios=world.radios,
+            extras=dict(world.spec.extras),
+        )
+
+
+class _FleetMode(_DeliveryMode):
+    """Many hotspot cells with roaming clients: per-client assembly is
+    the same managed stack as single-AP, but admission steers to the
+    least-loaded covering cell and a handoff controller roams walkers
+    between cells as they move."""
+
+    def assemble(self, world: World) -> None:
+        from repro.net.association import AssociationManager
+        from repro.net.fleet import FleetCoordinator
+        from repro.net.handoff import HandoffController
+        from repro.net.topology import linear_deployment
+        from repro.phy.mobility import RandomWaypoint
+
+        spec = world.spec
+        fleet_spec = spec.fleet
+        sim = world.sim
+        world.topology = linear_deployment(
+            fleet_spec.n_aps,
+            spacing_m=fleet_spec.ap_spacing_m,
+            y_m=fleet_spec.arena_depth_m / 2.0,
+        )
+        world.association = AssociationManager(sim, world.topology)
+        world.fleet = FleetCoordinator(
+            sim,
+            world.topology,
+            world.association,
+            coverage_threshold=fleet_spec.coverage_threshold,
+            gauge_interval_s=fleet_spec.gauge_interval_s,
+            scheduler=spec.scheduler,
+            epoch_s=spec.epoch_s,
+            min_burst_bytes=spec.min_burst_bytes,
+            utilisation_cap=spec.utilisation_cap,
+            load_aware_selection=fleet_spec.load_aware_selection,
+        )
+        world.handoff = HandoffController(
+            sim,
+            world.fleet,
+            world.streams,
+            check_interval_s=fleet_spec.handoff_check_interval_s,
+            hysteresis_margin=fleet_spec.hysteresis_margin,
+            min_dwell_s=fleet_spec.min_dwell_s,
+            latency_range_s=fleet_spec.handoff_latency_range_s,
+        )
+        arena = (
+            (0.0, 0.0),
+            (fleet_spec.n_aps * fleet_spec.ap_spacing_m, fleet_spec.arena_depth_m),
+        )
+        for node in spec.clients:
+            mobility = RandomWaypoint(
+                world.streams,
+                node.name,
+                area=arena,
+                speed_range_m_s=fleet_spec.speed_range_m_s,
+                pause_range_s=fleet_spec.pause_range_s,
+            )
+            client = build_managed_client(
+                world, node, quality_for=self._roaming_quality(world, mobility)
+            )
+            world.fleet.admit(client, mobility.position(0.0))
+            world.handoff.track(node.name, mobility)
+            world.clients.append(client)
+            register_radios(world, client)
+            if node.prefetch_s > 0:
+                world.fleet.ingest(
+                    node.name,
+                    int(node.prefetch_s * node.contract_rate_bps / 8.0),
+                )
+            start_traffic(world, node, world.fleet.sink_for(node.name))
+
+    def _roaming_quality(self, world: World, mobility) -> QualityResolver:
+        """Quality signals that follow the client's *current* cell.
+
+        Re-pointing the association (admission or handoff) instantly
+        flips the signal to the new site's link budget — the
+        interface-selection policy inside the cell never knows roaming
+        exists.
+        """
+
+        def quality_for(node: NodeSpec, ispec: InterfaceSpec):
+            def quality(time_s: float) -> float:
+                site = world.association.site_of(node.name)
+                if site is None:
+                    return 0.0
+                return world.topology.quality(
+                    site, ispec.kind, mobility.position(time_s)
+                )
+
+            return quality
+
+        return quality_for
+
+    def start(self, world: World) -> None:
+        world.fleet.start()
+        world.handoff.start()
+
+    def collect(self, world: World) -> ScenarioResult:
+        outcomes = []
+        for client in world.clients:
+            session = world.fleet.session_of(client.name)
+            outcomes.append(
+                ClientOutcome(
+                    name=client.name,
+                    qos=client.finish(),
+                    energy=client.energy_report(MP3_DECODE_BUSY_FRACTION),
+                    wnic_average_power_w=client.wnic_average_power_w(),
+                    bursts=client.bursts_received,
+                    bytes_received=client.bytes_received,
+                    switchovers=session.switchovers,
+                    interface_log=list(session.interface_log),
+                )
+            )
+        extras: Dict[str, object] = {
+            "n_aps": world.spec.fleet.n_aps,
+            "handoffs": world.handoff.handoffs,
+            "handoff_suspensions": world.handoff.suspensions,
+            "handoffs_declined": world.handoff.declined,
+            "association_churn": world.association.churn,
+            "admission_rejections": world.fleet.rejected,
+            "cells": world.fleet.cell_summary(),
+            "handoff_timeline": world.handoff.timeline_records(),
+            "sim_events": world.sim.events_scheduled,
+        }
+        extras.update(world.spec.extras)
+        return ScenarioResult(
+            label=world.spec.label
+            or f"fleet-hotspot[{_scheduler_label(world.spec.scheduler)}]",
+            duration_s=world.spec.duration_s,
+            clients=outcomes,
+            radios=world.radios,
+            extras=extras,
+        )
+
+
+_MODES = {
+    "hotspot": _HotspotMode,
+    "unscheduled": _UnscheduledMode,
+    "psm": _PsmMode,
+    "fleet": _FleetMode,
+}

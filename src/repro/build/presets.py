@@ -1,0 +1,304 @@
+"""Spec factories for the registered scenarios.
+
+Each factory maps one scenario's historical ``run_*`` signature onto a
+:class:`~repro.build.spec.WorldSpec`; the ``run_*`` entry points in
+:mod:`repro.core.scenario` and :mod:`repro.net.scenario` are thin shims
+over these plus :class:`~repro.build.builder.WorldBuilder`.  Validation
+(and its error messages) lives here so declarative callers and legacy
+callers fail identically.
+
+These are also the reference examples for writing new scenarios as
+specs — a new workload is a ~20-line factory, not a hand-wired runner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.build.spec import (
+    FleetSpec,
+    InterfaceSpec,
+    TrafficSpec,
+    WorldSpec,
+    uniform_nodes,
+)
+from repro.core.server import InterfaceSelectionPolicy
+from repro.faults import ClientChurn, FaultPlan, RadioOutage
+
+
+def hotspot_world(
+    n_clients: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler="edf",
+    burst_bytes: int = 40_000,
+    client_buffer_bytes: int = 96_000,
+    interfaces: Sequence[str] = ("bluetooth", "wlan"),
+    bluetooth_quality_script: Optional[Sequence[Tuple[float, float]]] = None,
+    epoch_s: float = 0.25,
+    seed: int = 0,
+    platform=None,
+    interface_policy=None,
+    server_prefetch_s: float = 30.0,
+    fault_plan=None,
+    utilisation_cap: float = 0.9,
+    label: Optional[str] = None,
+) -> WorldSpec:
+    """The paper's system: Hotspot-scheduled bursts, interface switching."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    iface_specs = []
+    if "bluetooth" in interfaces:
+        iface_specs.append(
+            InterfaceSpec(
+                "bluetooth",
+                quality_script=(
+                    tuple(tuple(point) for point in bluetooth_quality_script)
+                    if bluetooth_quality_script
+                    else None
+                ),
+            )
+        )
+    if "wlan" in interfaces:
+        iface_specs.append(InterfaceSpec("wlan"))
+    if not iface_specs:
+        raise ValueError(f"no known interfaces in {interfaces!r}")
+    return WorldSpec(
+        delivery="hotspot",
+        duration_s=duration_s,
+        seed=seed,
+        label=label,
+        clients=uniform_nodes(
+            n_clients,
+            iface_specs,
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+            buffer_bytes=client_buffer_bytes,
+            prefetch_s=server_prefetch_s,
+        ),
+        scheduler=scheduler,
+        epoch_s=epoch_s,
+        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
+        utilisation_cap=utilisation_cap,
+        interface_policy=interface_policy,
+        platform=platform,
+        fault_plan=fault_plan,
+    )
+
+
+def faulty_hotspot_world(
+    n_clients: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler="edf",
+    burst_bytes: int = 40_000,
+    client_buffer_bytes: int = 96_000,
+    outage_interface: str = "wlan",
+    outage_start_s: float = 40.0,
+    outage_duration_s: float = 30.0,
+    churn_clients: int = 0,
+    interference_rate_per_min: float = 0.0,
+    epoch_s: float = 0.25,
+    seed: int = 0,
+    platform=None,
+    server_prefetch_s: float = 30.0,
+) -> WorldSpec:
+    """The Hotspot under stress: mid-stream radio death with failover.
+
+    The fault plan is a *factory* resolved at build time against the
+    world's seeded streams — churn and interference times come from
+    ``faults/*`` substreams, so plans are insensitive to foreign draws.
+    """
+    if outage_start_s < 0:
+        raise ValueError("outage start must be >= 0")
+    if outage_duration_s < 0:
+        raise ValueError("outage duration must be >= 0")
+    if not 0 <= churn_clients <= n_clients:
+        raise ValueError("churn_clients must be in [0, n_clients]")
+
+    def plan_factory(streams) -> FaultPlan:
+        plan = FaultPlan()
+        if outage_duration_s > 0:
+            plan.add(
+                RadioOutage(
+                    target=f"*/{outage_interface}",
+                    start_s=outage_start_s,
+                    duration_s=outage_duration_s,
+                )
+            )
+        for index in range(churn_clients):
+            name = f"client{index}"
+            leave = streams.uniform(
+                f"faults/churn/{name}", 0.15 * duration_s, 0.45 * duration_s
+            )
+            away = streams.uniform(
+                f"faults/churn/{name}", 0.10 * duration_s, 0.25 * duration_s
+            )
+            plan.add(
+                ClientChurn(client=name, leave_s=leave, rejoin_s=leave + away)
+            )
+        if interference_rate_per_min > 0:
+            backup = "bluetooth" if outage_interface == "wlan" else "wlan"
+            plan = FaultPlan(
+                plan.faults
+                + FaultPlan.random(
+                    streams,
+                    duration_s,
+                    interface_names=[
+                        f"client{i}/{backup}" for i in range(n_clients)
+                    ],
+                    outage_rate_per_min=0.0,
+                    interference_rate_per_min=interference_rate_per_min,
+                ).faults
+            )
+        return plan
+
+    policy = InterfaceSelectionPolicy(
+        preference=(outage_interface,)
+        + tuple(
+            name
+            for name in ("bluetooth", "wlan", "gprs")
+            if name != outage_interface
+        )
+    )
+    scheduler_name = (
+        scheduler if isinstance(scheduler, str) else scheduler.name
+    )
+    return hotspot_world(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        bitrate_bps=bitrate_bps,
+        scheduler=scheduler,
+        burst_bytes=burst_bytes,
+        client_buffer_bytes=client_buffer_bytes,
+        interfaces=("bluetooth", "wlan"),
+        epoch_s=epoch_s,
+        seed=seed,
+        platform=platform,
+        interface_policy=policy,
+        server_prefetch_s=server_prefetch_s,
+        fault_plan=plan_factory,
+        label=f"faulty-hotspot[{scheduler_name}]",
+    )
+
+
+def unscheduled_world(
+    interface: str = "wlan",
+    n_clients: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """Figure-2 baseline: streaming with no power management at all."""
+    if interface not in ("wlan", "bluetooth"):
+        raise ValueError("interface must be 'wlan' or 'bluetooth'")
+    return WorldSpec(
+        delivery="unscheduled",
+        duration_s=duration_s,
+        seed=seed,
+        label=f"unscheduled[{interface}]",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec(interface)],
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+            # No resource manager: an effectively unbounded buffer.
+            buffer_bytes=1 << 30,
+            prefetch_s=0.0,
+        ),
+        platform=platform,
+    )
+
+
+def psm_baseline_world(
+    n_clients: int = 3,
+    duration_s: float = 60.0,
+    bitrate_bps: float = 128_000.0,
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """Standard 802.11 PSM on the full packet-level MAC."""
+    return WorldSpec(
+        delivery="psm",
+        duration_s=duration_s,
+        seed=seed,
+        label="802.11-psm",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("wlan")],
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+        ),
+        platform=platform,
+    )
+
+
+def fleet_hotspot_world(
+    n_clients: int = 24,
+    n_aps: int = 4,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler="edf",
+    burst_bytes: int = 80_000,
+    client_buffer_bytes: int = 192_000,
+    epoch_s: float = 0.25,
+    ap_spacing_m: float = 50.0,
+    arena_depth_m: float = 30.0,
+    speed_range_m_s: tuple = (0.5, 2.0),
+    pause_range_s: tuple = (0.0, 5.0),
+    utilisation_cap: float = 0.9,
+    coverage_threshold: float = 0.05,
+    handoff_check_interval_s: float = 1.0,
+    hysteresis_margin: float = 0.1,
+    min_dwell_s: float = 5.0,
+    handoff_latency_range_s: tuple = (0.05, 0.2),
+    gauge_interval_s: float = 5.0,
+    seed: int = 0,
+    platform=None,
+    server_prefetch_s: float = 30.0,
+    label: Optional[str] = None,
+) -> WorldSpec:
+    """A multi-cell hotspot fleet with roaming random-waypoint clients."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if n_aps < 1:
+        raise ValueError("need at least one access point")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if arena_depth_m <= 0:
+        raise ValueError("arena depth must be positive")
+    scheduler_name = (
+        scheduler if isinstance(scheduler, str) else scheduler.name
+    )
+    return WorldSpec(
+        delivery="fleet",
+        duration_s=duration_s,
+        seed=seed,
+        label=label or f"fleet-hotspot[{scheduler_name}]",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("bluetooth"), InterfaceSpec("wlan")],
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+            buffer_bytes=client_buffer_bytes,
+            prefetch_s=server_prefetch_s,
+        ),
+        scheduler=scheduler,
+        epoch_s=epoch_s,
+        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
+        utilisation_cap=utilisation_cap,
+        platform=platform,
+        fleet=FleetSpec(
+            n_aps=n_aps,
+            ap_spacing_m=ap_spacing_m,
+            arena_depth_m=arena_depth_m,
+            speed_range_m_s=tuple(speed_range_m_s),
+            pause_range_s=tuple(pause_range_s),
+            coverage_threshold=coverage_threshold,
+            handoff_check_interval_s=handoff_check_interval_s,
+            hysteresis_margin=hysteresis_margin,
+            min_dwell_s=min_dwell_s,
+            handoff_latency_range_s=tuple(handoff_latency_range_s),
+            gauge_interval_s=gauge_interval_s,
+            load_aware_selection=True,
+        ),
+    )

@@ -1,0 +1,329 @@
+"""Declarative world specifications: stack composition as data.
+
+The paper's Hotspot is a *composition* story — per-client stacks
+(radio → interface → MAC → link → QoS/playout) assembled under a
+resource manager.  These dataclasses describe such a world declaratively
+so :class:`~repro.build.builder.WorldBuilder` can assemble a runnable
+simulation from the description instead of every scenario hand-wiring
+its own:
+
+- :class:`InterfaceSpec` — one WNIC kind (wlan / bluetooth / gprs) with
+  optional scripted link quality and rate override;
+- :class:`TrafficSpec` — the application source feeding one client;
+- :class:`NodeSpec` — one client: its interfaces, traffic, playout
+  buffer and proxy-prefetch depth;
+- :class:`FleetSpec` — the multi-AP extension: topology, mobility and
+  handoff parameters;
+- :class:`WorldSpec` — the whole run: delivery flavour, duration, seed,
+  clients, server knobs, faults.
+
+Determinism contract: the same ``WorldSpec`` and seed always build the
+same world and produce a byte-identical ``summary_record()`` — that is
+what the golden-equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+#: Delivery flavours the builder knows how to assemble.
+DELIVERY_MODES = ("hotspot", "unscheduled", "psm", "fleet")
+
+#: Interface kinds the builder can construct.
+INTERFACE_KINDS = ("wlan", "bluetooth", "gprs")
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """One wireless interface on a client.
+
+    Parameters
+    ----------
+    kind:
+        ``"wlan"``, ``"bluetooth"`` or ``"gprs"``.
+    quality_script:
+        Optional ``(time, quality)`` pairs driving a scripted
+        link-quality timeline (the paper's Bluetooth-degradation
+        scenario).  Ignored in fleet worlds, where quality follows the
+        client's cell association instead.
+    effective_rate_bps:
+        Override the interface's default burst goodput.
+    """
+
+    kind: str
+    quality_script: Optional[Tuple[Tuple[float, float], ...]] = None
+    effective_rate_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in INTERFACE_KINDS:
+            raise ValueError(
+                f"unknown interface kind {self.kind!r}; known: {INTERFACE_KINDS}"
+            )
+        if self.quality_script is not None:
+            object.__setattr__(
+                self,
+                "quality_script",
+                tuple((float(t), float(q)) for t, q in self.quality_script),
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "quality_script": (
+                [list(point) for point in self.quality_script]
+                if self.quality_script
+                else None
+            ),
+            "effective_rate_bps": self.effective_rate_bps,
+        }
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The application source feeding one client.
+
+    ``kind`` names an entry in the :mod:`repro.apps.traffic` source
+    registry (``mp3``, ``poisson``, ``onoff``, ``video``, ``trace``);
+    ``options`` are passed through to that source's constructor.
+    Stochastic sources draw from the client's seeded ``traffic/<name>``
+    substream, so the same spec and seed replay the same arrivals.
+    """
+
+    kind: str = "mp3"
+    bitrate_bps: float = 128_000.0
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if isinstance(self.options, dict):
+            object.__setattr__(self, "options", tuple(sorted(self.options.items())))
+
+    @property
+    def option_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "bitrate_bps": self.bitrate_bps,
+            "options": self.option_dict,
+        }
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One client node: interfaces + traffic + playout contract.
+
+    Parameters
+    ----------
+    name:
+        Client identifier (unique within the world).
+    interfaces:
+        The node's WNICs, in construction order (the order is part of
+        the determinism contract — it fixes event tie-breaking).
+    traffic:
+        The source streamed to this client.
+    buffer_bytes:
+        Client playout buffer size backing the QoS contract.
+    prebuffer_s / weight:
+        Contract knobs (playback start threshold, scheduler weight).
+    prefetch_s:
+        How far ahead the proxy has already fetched this stream from
+        the wired side when delivery starts.
+    stream_rate_bps:
+        Contracted stream rate; defaults to the traffic bitrate.
+    """
+
+    name: str
+    interfaces: Tuple[InterfaceSpec, ...]
+    traffic: TrafficSpec = TrafficSpec()
+    buffer_bytes: int = 96_000
+    prebuffer_s: float = 1.0
+    weight: float = 1.0
+    prefetch_s: float = 30.0
+    stream_rate_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node needs a name")
+        if not self.interfaces:
+            raise ValueError(f"node {self.name!r} needs at least one interface")
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        object.__setattr__(self, "interfaces", tuple(self.interfaces))
+
+    @property
+    def contract_rate_bps(self) -> float:
+        return (
+            self.stream_rate_bps
+            if self.stream_rate_bps is not None
+            else self.traffic.bitrate_bps
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "interfaces": [spec.describe() for spec in self.interfaces],
+            "traffic": self.traffic.describe(),
+            "buffer_bytes": self.buffer_bytes,
+            "prebuffer_s": self.prebuffer_s,
+            "weight": self.weight,
+            "prefetch_s": self.prefetch_s,
+            "stream_rate_bps": self.stream_rate_bps,
+        }
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Multi-AP extension: corridor topology, mobility and handoff."""
+
+    n_aps: int = 4
+    ap_spacing_m: float = 50.0
+    arena_depth_m: float = 30.0
+    speed_range_m_s: Tuple[float, float] = (0.5, 2.0)
+    pause_range_s: Tuple[float, float] = (0.0, 5.0)
+    coverage_threshold: float = 0.05
+    handoff_check_interval_s: float = 1.0
+    hysteresis_margin: float = 0.1
+    min_dwell_s: float = 5.0
+    handoff_latency_range_s: Tuple[float, float] = (0.05, 0.2)
+    gauge_interval_s: float = 5.0
+    load_aware_selection: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_aps < 1:
+            raise ValueError("need at least one access point")
+        if self.arena_depth_m <= 0:
+            raise ValueError("arena depth must be positive")
+        object.__setattr__(
+            self, "speed_range_m_s", tuple(self.speed_range_m_s)
+        )
+        object.__setattr__(self, "pause_range_s", tuple(self.pause_range_s))
+        object.__setattr__(
+            self, "handoff_latency_range_s", tuple(self.handoff_latency_range_s)
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "n_aps": self.n_aps,
+            "ap_spacing_m": self.ap_spacing_m,
+            "arena_depth_m": self.arena_depth_m,
+            "speed_range_m_s": list(self.speed_range_m_s),
+            "pause_range_s": list(self.pause_range_s),
+            "coverage_threshold": self.coverage_threshold,
+            "handoff_check_interval_s": self.handoff_check_interval_s,
+            "hysteresis_margin": self.hysteresis_margin,
+            "min_dwell_s": self.min_dwell_s,
+            "handoff_latency_range_s": list(self.handoff_latency_range_s),
+            "gauge_interval_s": self.gauge_interval_s,
+            "load_aware_selection": self.load_aware_selection,
+        }
+
+
+@dataclass
+class WorldSpec:
+    """A whole runnable world, declaratively.
+
+    Parameters
+    ----------
+    delivery:
+        How bytes reach clients: ``"hotspot"`` (the paper's scheduled
+        bursts under a server resource manager), ``"unscheduled"``
+        (Figure-2 baseline, WNIC always listening), ``"psm"``
+        (standard 802.11 PSM on the packet-level MAC) or ``"fleet"``
+        (many hotspot cells with roaming, requires ``fleet``).
+    duration_s / seed:
+        Run length and master random seed.
+    clients:
+        The node population.
+    label:
+        Result label; ``None`` lets the delivery mode pick its default.
+    scheduler / epoch_s / min_burst_bytes / utilisation_cap /
+    interface_policy:
+        Server resource-manager knobs (hotspot and fleet cells).
+    platform:
+        Host device profile (defaults to the paper's iPAQ 3970).
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan`, or a callable
+        ``fn(streams) -> FaultPlan`` resolved at build time against the
+        world's seeded substreams (so plans stay insensitive to foreign
+        draws).
+    fleet:
+        The :class:`FleetSpec` for ``delivery="fleet"``.
+    """
+
+    delivery: str = "hotspot"
+    duration_s: float = 60.0
+    seed: int = 0
+    clients: Tuple[NodeSpec, ...] = ()
+    label: Optional[str] = None
+    scheduler: Union[str, Any] = "edf"
+    epoch_s: float = 0.25
+    min_burst_bytes: int = 20_000
+    utilisation_cap: float = 0.9
+    interface_policy: Optional[Any] = None
+    platform: Optional[Any] = None
+    fault_plan: Optional[Union[Any, Callable[..., Any]]] = None
+    fleet: Optional[FleetSpec] = None
+    #: Free-form metadata carried through to ``ScenarioResult.extras``
+    #: untouched (must stay JSON-serialisable and deterministic).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode {self.delivery!r}; known: {DELIVERY_MODES}"
+            )
+        if self.delivery == "fleet" and self.fleet is None:
+            self.fleet = FleetSpec()
+        self.clients = tuple(self.clients)
+        names = [node.name for node in self.clients]
+        if len(set(names)) != len(names):
+            raise ValueError("client names must be unique")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe view of the spec (for docs, CLIs and artifacts)."""
+        scheduler = (
+            self.scheduler
+            if isinstance(self.scheduler, str)
+            else getattr(self.scheduler, "name", str(self.scheduler))
+        )
+        return {
+            "delivery": self.delivery,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "label": self.label,
+            "scheduler": scheduler,
+            "epoch_s": self.epoch_s,
+            "min_burst_bytes": self.min_burst_bytes,
+            "utilisation_cap": self.utilisation_cap,
+            "clients": [node.describe() for node in self.clients],
+            "fleet": self.fleet.describe() if self.fleet else None,
+        }
+
+
+def uniform_nodes(
+    count: int,
+    interfaces: Sequence[InterfaceSpec],
+    traffic: TrafficSpec,
+    name_format: str = "client{index}",
+    **node_kwargs: Any,
+) -> Tuple[NodeSpec, ...]:
+    """A homogeneous population: ``count`` identical nodes.
+
+    The common case for paper-style experiments — every client streams
+    the same workload over the same interface set.
+    """
+    if count < 1:
+        raise ValueError("need at least one client")
+    return tuple(
+        NodeSpec(
+            name=name_format.format(index=index),
+            interfaces=tuple(interfaces),
+            traffic=traffic,
+            **node_kwargs,
+        )
+        for index in range(count)
+    )

@@ -1,0 +1,108 @@
+"""Scenario outcome containers: what every runnable world produces.
+
+Split out of :mod:`repro.core.scenario` so both the legacy ``run_*``
+entry points and the declarative composition layer
+(:mod:`repro.build`) can share them without import cycles:
+:class:`ClientOutcome` is everything measured for one client,
+:class:`ScenarioResult` the whole run's output, and
+:meth:`ScenarioResult.summary_record` the JSON-ready scalar record the
+campaign engine hashes, caches and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.qos import QoSContract
+from repro.metrics.energy import ClientEnergyReport
+from repro.metrics.qos import QosSummary
+from repro.phy import Radio
+
+#: MP3 decode keeps the platform busy a modest fraction of the time.
+MP3_DECODE_BUSY_FRACTION = 0.15
+
+
+@dataclass
+class ClientOutcome:
+    """Everything measured for one client."""
+
+    name: str
+    qos: QosSummary
+    energy: ClientEnergyReport
+    wnic_average_power_w: float
+    bursts: int
+    bytes_received: int
+    switchovers: int = 0
+    interface_log: List[Tuple[float, str]] = field(default_factory=list)
+
+
+@dataclass
+class ScenarioResult:
+    """Output of one scenario run."""
+
+    label: str
+    duration_s: float
+    clients: List[ClientOutcome]
+    #: Radios by "client/interface" for timeline rendering.
+    radios: Dict[str, Radio] = field(default_factory=dict)
+    server: Optional[object] = None
+    #: Scenario-specific scalar fields merged into the summary record
+    #: (e.g. fault-injection counters); must stay JSON-serialisable and
+    #: deterministic for a given (params, seed).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def mean_wnic_power_w(self) -> float:
+        """Average per-client WNIC power (the paper's Figure 2 metric)."""
+        if not self.clients:
+            return 0.0
+        return sum(c.wnic_average_power_w for c in self.clients) / len(self.clients)
+
+    def mean_total_power_w(self) -> float:
+        """Average per-client whole-device power."""
+        if not self.clients:
+            return 0.0
+        return sum(
+            c.energy.total_average_power_w() for c in self.clients
+        ) / len(self.clients)
+
+    def qos_maintained(self) -> bool:
+        return all(c.qos.maintained for c in self.clients)
+
+    def summary_record(self) -> Dict[str, object]:
+        """JSON-ready per-run summary (the campaign engine's cache unit).
+
+        Only plain scalars: this is what :mod:`repro.exp` hashes runs
+        against, persists in its result store, and aggregates across
+        seeds — keep fields deterministic for a given (params, seed).
+        """
+        record: Dict[str, object] = {
+            "label": self.label,
+            "duration_s": self.duration_s,
+            "n_clients": len(self.clients),
+            "wnic_power_w": self.mean_wnic_power_w(),
+            "device_power_w": self.mean_total_power_w(),
+            "qos_maintained": self.qos_maintained(),
+            "bursts": sum(c.bursts for c in self.clients),
+            "bytes_received": sum(c.bytes_received for c in self.clients),
+            "switchovers": sum(c.switchovers for c in self.clients),
+        }
+        record.update(self.extras)
+        return record
+
+
+def make_stream_contract(
+    name: str,
+    bitrate_bps: float,
+    buffer_bytes: int,
+    prebuffer_s: float = 1.0,
+    weight: float = 1.0,
+) -> QoSContract:
+    """The standard streaming contract every scenario hands its clients."""
+    return QoSContract(
+        client=name,
+        stream_rate_bps=bitrate_bps,
+        client_buffer_bytes=buffer_bytes,
+        prebuffer_s=prebuffer_s,
+        weight=weight,
+    )

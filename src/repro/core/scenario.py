@@ -15,114 +15,45 @@ concurrent iPAQ clients:
 
 Each returns a :class:`ScenarioResult` carrying per-client energy
 reports, QoS summaries and the radio traces behind Figure 1.
+
+Since the :mod:`repro.build` composition layer these entry points are
+thin shims: each maps its keyword arguments onto a declarative
+:class:`~repro.build.WorldSpec` (see :mod:`repro.build.presets`) and
+runs it through :class:`~repro.build.WorldBuilder`.  Their signatures
+and ``summary_record()`` output at fixed seeds are stable — the
+golden-equivalence tests in ``tests/build`` pin the latter byte for
+byte.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
-from repro.apps.traffic import Mp3Stream
-from repro.core.client import HotspotClient
-from repro.core.interfaces import (
-    ManagedInterface,
-    bluetooth_interface,
-    wlan_interface,
+from repro.core.outcome import (
+    MP3_DECODE_BUSY_FRACTION,
+    ClientOutcome,
+    ScenarioResult,
+    make_stream_contract,
 )
-from repro.core.qos import QoSContract
 from repro.core.scheduling import BurstScheduler
-from repro.core.server import HotspotServer, InterfaceSelectionPolicy
-from repro.devices import ipaq_3970, wlan_cf_card
+from repro.core.server import InterfaceSelectionPolicy
 from repro.devices.profiles import DeviceProfile
-from repro.faults import ClientChurn, FaultInjector, FaultPlan, RadioOutage
-from repro.mac import AccessPoint, Medium, PsmStation
-from repro.metrics.energy import ClientEnergyReport
-from repro.metrics.qos import PlayoutBuffer, QosSummary
-from repro.phy import Radio
-from repro.phy.channel import ScriptedLinkQuality
-from repro.sim import RandomStreams, Simulator
+from repro.faults import FaultPlan
 
+__all__ = [
+    "ClientOutcome",
+    "MP3_DECODE_BUSY_FRACTION",
+    "ScenarioResult",
+    "make_stream_contract",
+    "run_faulty_hotspot_scenario",
+    "run_hotspot_scenario",
+    "run_psm_baseline_scenario",
+    "run_unscheduled_scenario",
+]
 
-@dataclass
-class ClientOutcome:
-    """Everything measured for one client."""
-
-    name: str
-    qos: QosSummary
-    energy: ClientEnergyReport
-    wnic_average_power_w: float
-    bursts: int
-    bytes_received: int
-    switchovers: int = 0
-    interface_log: List[Tuple[float, str]] = field(default_factory=list)
-
-
-@dataclass
-class ScenarioResult:
-    """Output of one scenario run."""
-
-    label: str
-    duration_s: float
-    clients: List[ClientOutcome]
-    #: Radios by "client/interface" for timeline rendering.
-    radios: Dict[str, Radio] = field(default_factory=dict)
-    server: Optional[HotspotServer] = None
-    #: Scenario-specific scalar fields merged into the summary record
-    #: (e.g. fault-injection counters); must stay JSON-serialisable and
-    #: deterministic for a given (params, seed).
-    extras: Dict[str, object] = field(default_factory=dict)
-
-    def mean_wnic_power_w(self) -> float:
-        """Average per-client WNIC power (the paper's Figure 2 metric)."""
-        if not self.clients:
-            return 0.0
-        return sum(c.wnic_average_power_w for c in self.clients) / len(self.clients)
-
-    def mean_total_power_w(self) -> float:
-        """Average per-client whole-device power."""
-        if not self.clients:
-            return 0.0
-        return sum(
-            c.energy.total_average_power_w() for c in self.clients
-        ) / len(self.clients)
-
-    def qos_maintained(self) -> bool:
-        return all(c.qos.maintained for c in self.clients)
-
-    def summary_record(self) -> Dict[str, object]:
-        """JSON-ready per-run summary (the campaign engine's cache unit).
-
-        Only plain scalars: this is what :mod:`repro.exp` hashes runs
-        against, persists in its result store, and aggregates across
-        seeds — keep fields deterministic for a given (params, seed).
-        """
-        record: Dict[str, object] = {
-            "label": self.label,
-            "duration_s": self.duration_s,
-            "n_clients": len(self.clients),
-            "wnic_power_w": self.mean_wnic_power_w(),
-            "device_power_w": self.mean_total_power_w(),
-            "qos_maintained": self.qos_maintained(),
-            "bursts": sum(c.bursts for c in self.clients),
-            "bytes_received": sum(c.bytes_received for c in self.clients),
-            "switchovers": sum(c.switchovers for c in self.clients),
-        }
-        record.update(self.extras)
-        return record
-
-
-#: MP3 decode keeps the platform busy a modest fraction of the time.
-_MP3_DECODE_BUSY_FRACTION = 0.15
-
-
-def _make_contract(name: str, bitrate_bps: float, buffer_bytes: int) -> QoSContract:
-    return QoSContract(
-        client=name,
-        stream_rate_bps=bitrate_bps,
-        client_buffer_bytes=buffer_bytes,
-        prebuffer_s=1.0,
-        weight=1.0,
-    )
+#: Backwards-compatible aliases (pre-composition-layer names).
+_MP3_DECODE_BUSY_FRACTION = MP3_DECODE_BUSY_FRACTION
+_make_contract = make_stream_contract
 
 
 def run_hotspot_scenario(
@@ -165,101 +96,28 @@ def run_hotspot_scenario(
     ``extras`` then carry fault/recovery counters into the summary
     record.
     """
-    if n_clients < 1:
-        raise ValueError("need at least one client")
-    if duration_s <= 0:
-        raise ValueError("duration must be positive")
-    sim = Simulator()
-    if obs is not None:
-        obs.attach(sim)
-    streams = RandomStreams(seed=seed)
-    platform = platform or ipaq_3970()
-    server = HotspotServer(
-        sim,
-        scheduler=scheduler,
-        epoch_s=epoch_s,
-        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
-        interface_policy=interface_policy,
-        utilisation_cap=utilisation_cap,
-    )
-    bt_quality = (
-        ScriptedLinkQuality(bluetooth_quality_script).quality
-        if bluetooth_quality_script
-        else None
-    )
-    clients: List[HotspotClient] = []
-    radios: Dict[str, Radio] = {}
-    for index in range(n_clients):
-        name = f"client{index}"
-        available: Dict[str, ManagedInterface] = {}
-        if "bluetooth" in interfaces:
-            available["bluetooth"] = bluetooth_interface(
-                sim, name=f"{name}/bluetooth", quality=bt_quality
-            )
-        if "wlan" in interfaces:
-            available["wlan"] = wlan_interface(sim, name=f"{name}/wlan")
-        if not available:
-            raise ValueError(f"no known interfaces in {interfaces!r}")
-        contract = _make_contract(name, bitrate_bps, client_buffer_bytes)
-        client = HotspotClient(
-            sim, name, contract, available, platform=platform
-        )
-        server.register(client)
-        clients.append(client)
-        for interface in available.values():
-            radios[interface.radio.name] = interface.radio
-        if server_prefetch_s > 0:
-            # The proxy fetched this much stream from the wired side
-            # before scheduled delivery begins.
-            server.ingest(name, int(server_prefetch_s * bitrate_bps / 8.0))
-        source = Mp3Stream(bitrate_bps=bitrate_bps)
-        source.start(sim, server.sink_for(name), until_s=duration_s)
-    server.start()
-    injector: Optional[FaultInjector] = None
-    if fault_plan is not None and len(fault_plan):
-        injector = FaultInjector(sim, fault_plan)
-        for client in clients:
-            injector.bind_client(client)
-        injector.bind_server(server)
-        injector.start()
-    sim.run(until=duration_s)
-    outcomes = []
-    for client in clients:
-        session = server.sessions[client.name]
-        outcomes.append(
-            ClientOutcome(
-                name=client.name,
-                qos=client.finish(),
-                energy=client.energy_report(_MP3_DECODE_BUSY_FRACTION),
-                wnic_average_power_w=client.wnic_average_power_w(),
-                bursts=client.bursts_received,
-                bytes_received=client.bytes_received,
-                switchovers=session.switchovers,
-                interface_log=list(session.interface_log),
-            )
-        )
-    extras: Dict[str, object] = {}
-    if injector is not None:
-        managed = [
-            interface
-            for client in clients
-            for interface in client.interfaces.values()
-        ]
-        extras = {
-            "faults_injected": injector.injected,
-            "radio_outages": sum(i.outages for i in managed),
-            "bursts_failed": sum(
-                s.bursts_failed for s in server.sessions.values()
-            ),
-        }
-    return ScenarioResult(
-        label=label or f"hotspot[{server.scheduler.name}]",
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import hotspot_world
+
+    spec = hotspot_world(
+        n_clients=n_clients,
         duration_s=duration_s,
-        clients=outcomes,
-        radios=radios,
-        server=server,
-        extras=extras,
+        bitrate_bps=bitrate_bps,
+        scheduler=scheduler,
+        burst_bytes=burst_bytes,
+        client_buffer_bytes=client_buffer_bytes,
+        interfaces=interfaces,
+        bluetooth_quality_script=bluetooth_quality_script,
+        epoch_s=epoch_s,
+        seed=seed,
+        platform=platform,
+        interface_policy=interface_policy,
+        server_prefetch_s=server_prefetch_s,
+        fault_plan=fault_plan,
+        utilisation_cap=utilisation_cap,
+        label=label,
     )
+    return WorldBuilder(spec).run(obs=obs)
 
 
 def run_faulty_hotspot_scenario(
@@ -299,73 +157,27 @@ def run_faulty_hotspot_scenario(
     - ``interference_rate_per_min``: Poisson interference bursts that
       collapse link quality on the backup interface.
     """
-    if outage_start_s < 0:
-        raise ValueError("outage start must be >= 0")
-    if outage_duration_s < 0:
-        raise ValueError("outage duration must be >= 0")
-    if not 0 <= churn_clients <= n_clients:
-        raise ValueError("churn_clients must be in [0, n_clients]")
-    streams = RandomStreams(seed=seed)
-    plan = FaultPlan()
-    if outage_duration_s > 0:
-        plan.add(
-            RadioOutage(
-                target=f"*/{outage_interface}",
-                start_s=outage_start_s,
-                duration_s=outage_duration_s,
-            )
-        )
-    for index in range(churn_clients):
-        name = f"client{index}"
-        leave = streams.uniform(
-            f"faults/churn/{name}", 0.15 * duration_s, 0.45 * duration_s
-        )
-        away = streams.uniform(
-            f"faults/churn/{name}", 0.10 * duration_s, 0.25 * duration_s
-        )
-        plan.add(ClientChurn(client=name, leave_s=leave, rejoin_s=leave + away))
-    if interference_rate_per_min > 0:
-        backup = "bluetooth" if outage_interface == "wlan" else "wlan"
-        plan = FaultPlan(
-            plan.faults
-            + FaultPlan.random(
-                streams,
-                duration_s,
-                interface_names=[
-                    f"client{i}/{backup}" for i in range(n_clients)
-                ],
-                outage_rate_per_min=0.0,
-                interference_rate_per_min=interference_rate_per_min,
-            ).faults
-        )
-    policy = InterfaceSelectionPolicy(
-        preference=(outage_interface,)
-        + tuple(
-            name
-            for name in ("bluetooth", "wlan", "gprs")
-            if name != outage_interface
-        )
-    )
-    scheduler_name = (
-        scheduler if isinstance(scheduler, str) else scheduler.name
-    )
-    return run_hotspot_scenario(
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import faulty_hotspot_world
+
+    spec = faulty_hotspot_world(
         n_clients=n_clients,
         duration_s=duration_s,
         bitrate_bps=bitrate_bps,
         scheduler=scheduler,
         burst_bytes=burst_bytes,
         client_buffer_bytes=client_buffer_bytes,
-        interfaces=("bluetooth", "wlan"),
+        outage_interface=outage_interface,
+        outage_start_s=outage_start_s,
+        outage_duration_s=outage_duration_s,
+        churn_clients=churn_clients,
+        interference_rate_per_min=interference_rate_per_min,
         epoch_s=epoch_s,
         seed=seed,
         platform=platform,
-        interface_policy=policy,
         server_prefetch_s=server_prefetch_s,
-        fault_plan=plan,
-        label=f"faulty-hotspot[{scheduler_name}]",
-        obs=obs,
     )
+    return WorldBuilder(spec).run(obs=obs)
 
 
 def run_unscheduled_scenario(
@@ -384,66 +196,18 @@ def run_unscheduled_scenario(
     interface's natural rate (WLAN charges the rx-vs-idle delta,
     Bluetooth briefly enters ``active``).
     """
-    if interface not in ("wlan", "bluetooth"):
-        raise ValueError("interface must be 'wlan' or 'bluetooth'")
-    sim = Simulator()
-    if obs is not None:
-        obs.attach(sim)
-    platform = platform or ipaq_3970()
-    clients: List[HotspotClient] = []
-    radios: Dict[str, Radio] = {}
-    ifaces: List[ManagedInterface] = []
-    for index in range(n_clients):
-        name = f"client{index}"
-        if interface == "wlan":
-            managed = wlan_interface(sim, name=f"{name}/wlan")
-        else:
-            managed = bluetooth_interface(sim, name=f"{name}/bluetooth")
-        contract = _make_contract(name, bitrate_bps, 1 << 30)
-        client = HotspotClient(
-            sim, name, contract, {interface: managed}, platform=platform
-        )
-        # No resource manager: the interface never sleeps.
-        clients.append(client)
-        ifaces.append(managed)
-        radios[managed.radio.name] = managed.radio
-        source = Mp3Stream(bitrate_bps=bitrate_bps)
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import unscheduled_world
 
-        def deliver_frame(nbytes: int, kind: str, c=client, m=managed):
-            c.playout.deliver(sim.now, nbytes)
-            c.bytes_received += nbytes
-            if m.radio.model.name == "wlan-cf":
-                # Receive the frame: rx-vs-idle delta for its airtime.
-                airtime = nbytes * 8.0 / m.effective_rate_bps
-                delta = m.radio.model.power("rx") - m.radio.model.power("idle")
-                m.radio.add_energy_impulse(delta * airtime)
-            else:
-                # Bluetooth: active-vs-connected delta for the frame time.
-                airtime = nbytes * 8.0 / m.effective_rate_bps
-                delta = m.radio.model.power("active") - m.radio.model.power(
-                    "connected"
-                )
-                m.radio.add_energy_impulse(delta * airtime)
-
-        source.start(sim, deliver_frame, until_s=duration_s)
-    sim.run(until=duration_s)
-    outcomes = [
-        ClientOutcome(
-            name=client.name,
-            qos=client.finish(),
-            energy=client.energy_report(_MP3_DECODE_BUSY_FRACTION),
-            wnic_average_power_w=client.wnic_average_power_w(),
-            bursts=0,
-            bytes_received=client.bytes_received,
-        )
-        for client in clients
-    ]
-    return ScenarioResult(
-        label=f"unscheduled[{interface}]",
+    spec = unscheduled_world(
+        interface=interface,
+        n_clients=n_clients,
         duration_s=duration_s,
-        clients=outcomes,
-        radios=radios,
+        bitrate_bps=bitrate_bps,
+        seed=seed,
+        platform=platform,
     )
+    return WorldBuilder(spec).run(obs=obs)
 
 
 def run_psm_baseline_scenario(
@@ -459,69 +223,14 @@ def run_psm_baseline_scenario(
     Every MP3 frame flows through the AP; dozing stations fetch buffered
     frames with the beacon/TIM/PS-Poll machinery of :mod:`repro.mac.psm`.
     """
-    sim = Simulator()
-    if obs is not None:
-        obs.attach(sim)
-    streams = RandomStreams(seed=seed)
-    platform = platform or ipaq_3970()
-    medium = Medium(sim)
-    ap = AccessPoint(sim, medium, "ap", rng=streams.stream("ap"))
-    stations: List[PsmStation] = []
-    playouts: List[PlayoutBuffer] = []
-    radios: Dict[str, Radio] = {}
-    byte_counts = [0] * n_clients
-    for index in range(n_clients):
-        name = f"client{index}"
-        radio = Radio(sim, wlan_cf_card(), name=f"{name}/wlan")
-        playout = PlayoutBuffer(drain_rate_bps=bitrate_bps, prebuffer_s=1.0)
-        playouts.append(playout)
-        radios[radio.name] = radio
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import psm_baseline_world
 
-        def on_receive(frame, p=playout, i=index):
-            p.deliver(sim.now, frame.payload_bytes)
-            byte_counts[i] += frame.payload_bytes
-
-        station = PsmStation(
-            sim,
-            medium,
-            name,
-            ap,
-            radio,
-            rng=streams.stream(name),
-            on_receive=on_receive,
-        )
-        stations.append(station)
-        source = Mp3Stream(bitrate_bps=bitrate_bps)
-
-        def to_ap(nbytes: int, kind: str, n=name):
-            ap.send_data(n, nbytes)
-
-        source.start(sim, to_ap, until_s=duration_s)
-    sim.run(until=duration_s)
-    outcomes = []
-    for index, radio in enumerate(radios.values()):
-        from repro.metrics.energy import EnergyBreakdown
-
-        qos = playouts[index].finish(duration_s)
-        outcomes.append(
-            ClientOutcome(
-                name=f"client{index}",
-                qos=qos,
-                energy=ClientEnergyReport(
-                    client=f"client{index}",
-                    radios=[EnergyBreakdown.of(radio)],
-                    platform=platform,
-                    platform_busy_fraction=_MP3_DECODE_BUSY_FRACTION,
-                    elapsed_s=duration_s,
-                ),
-                wnic_average_power_w=radio.average_power_w(),
-                bursts=stations[index].polls_sent,
-                bytes_received=byte_counts[index],
-            )
-        )
-    return ScenarioResult(
-        label="802.11-psm",
+    spec = psm_baseline_world(
+        n_clients=n_clients,
         duration_s=duration_s,
-        clients=outcomes,
-        radios=radios,
+        bitrate_bps=bitrate_bps,
+        seed=seed,
+        platform=platform,
     )
+    return WorldBuilder(spec).run(obs=obs)

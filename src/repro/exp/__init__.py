@@ -59,8 +59,12 @@ from repro.exp.runner import (
     run_campaign,
 )
 from repro.exp.scenarios import (
+    ScenarioEntry,
+    ScenarioParameter,
     get_scenario,
     register_scenario,
+    scenario_entries,
+    scenario_entry,
     scenario_names,
 )
 from repro.exp.spec import (
@@ -82,6 +86,8 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "RunTimeoutError",
+    "ScenarioEntry",
+    "ScenarioParameter",
     "aggregate",
     "campaign_payload",
     "canonical_json",
@@ -100,6 +106,8 @@ __all__ = [
     "register_scenario",
     "run_campaign",
     "run_key",
+    "scenario_entries",
+    "scenario_entry",
     "scenario_names",
     "summary_rows",
     "summary_table",

@@ -7,11 +7,20 @@ registered callable takes the run's params as keyword arguments plus
 ``seed`` and ``obs``, and returns a
 :class:`repro.core.scenario.ScenarioResult` (anything with a
 ``summary_record()`` method works).
+
+Entries can additionally carry a *spec factory* — the
+:mod:`repro.build.presets` function mapping the same keyword arguments
+onto a declarative :class:`~repro.build.WorldSpec`.  That is what lets
+``repro scenarios`` introspect every scenario's parameters and defaults
+without running anything, and lets campaign grids sweep structural
+parameters (interface sets, traffic mixes) rather than only scalars.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.scenario import (
     run_faulty_hotspot_scenario,
@@ -23,18 +32,136 @@ from repro.net.scenario import run_fleet_hotspot_scenario
 
 ScenarioFn = Callable[..., object]
 
-_SCENARIOS: Dict[str, ScenarioFn] = {}
+#: Parameters the engine manages; never part of a scenario's sweepable set.
+_ENGINE_PARAMS = ("seed", "obs")
 
 
-def register_scenario(name: str, fn: ScenarioFn) -> None:
-    """Register ``fn`` under ``name`` (idempotent for the same callable)."""
+@dataclass(frozen=True)
+class ScenarioParameter:
+    """One sweepable scenario parameter and its default."""
+
+    name: str
+    default: Any = inspect.Parameter.empty
+    annotation: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is inspect.Parameter.empty
+
+    def default_repr(self) -> str:
+        return "<required>" if self.required else repr(self.default)
+
+    def describe(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "required": self.required}
+        if not self.required:
+            payload["default"] = _json_safe(self.default)
+        if self.annotation:
+            payload["annotation"] = self.annotation
+        return payload
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: runnable fn + optional spec metadata."""
+
+    name: str
+    fn: ScenarioFn
+    #: The :mod:`repro.build.presets` factory mapping the same kwargs to
+    #: a WorldSpec; introspection prefers it (it has no ``obs`` plumbing
+    #: and is the declarative source of truth for defaults).
+    spec_factory: Optional[Callable[..., object]] = None
+    description: str = ""
+    _parameters: List[ScenarioParameter] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        target = self.spec_factory or self.fn
+        for param in inspect.signature(target).parameters.values():
+            if param.name in _ENGINE_PARAMS:
+                continue
+            if param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            annotation = ""
+            if param.annotation is not inspect.Parameter.empty:
+                annotation = (
+                    param.annotation
+                    if isinstance(param.annotation, str)
+                    else getattr(param.annotation, "__name__", str(param.annotation))
+                )
+            self._parameters.append(
+                ScenarioParameter(
+                    name=param.name,
+                    default=param.default,
+                    annotation=annotation,
+                )
+            )
+
+    @property
+    def parameters(self) -> List[ScenarioParameter]:
+        return list(self._parameters)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready entry summary (``repro scenarios --json``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "declarative": self.spec_factory is not None,
+            "parameters": [p.describe() for p in self._parameters],
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Defaults as JSON-friendly values (tuples → lists, objects → repr)."""
+    if isinstance(value, (tuple, list)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _first_doc_line(fn: ScenarioFn) -> str:
+    doc = inspect.getdoc(fn) or ""
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+_SCENARIOS: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(
+    name: str,
+    fn: ScenarioFn,
+    spec_factory: Optional[Callable[..., object]] = None,
+    description: Optional[str] = None,
+) -> None:
+    """Register ``fn`` under ``name`` (idempotent for the same callable).
+
+    ``spec_factory`` is the optional declarative counterpart (a
+    ``repro.build.presets``-style function returning a WorldSpec) used
+    for parameter introspection; ``description`` defaults to the first
+    line of ``fn``'s docstring.
+    """
     existing = _SCENARIOS.get(name)
-    if existing is not None and existing is not fn:
+    if existing is not None and existing.fn is not fn:
         raise ValueError(f"scenario {name!r} already registered")
-    _SCENARIOS[name] = fn
+    _SCENARIOS[name] = ScenarioEntry(
+        name=name,
+        fn=fn,
+        spec_factory=spec_factory,
+        description=(
+            description if description is not None else _first_doc_line(fn)
+        ),
+    )
 
 
 def get_scenario(name: str) -> ScenarioFn:
+    return scenario_entry(name).fn
+
+
+def scenario_entry(name: str) -> ScenarioEntry:
     try:
         return _SCENARIOS[name]
     except KeyError:
@@ -43,12 +170,36 @@ def get_scenario(name: str) -> ScenarioFn:
         ) from None
 
 
+def scenario_entries() -> List[ScenarioEntry]:
+    return [_SCENARIOS[name] for name in scenario_names()]
+
+
 def scenario_names() -> List[str]:
     return sorted(_SCENARIOS)
 
 
-register_scenario("hotspot", run_hotspot_scenario)
-register_scenario("faulty-hotspot", run_faulty_hotspot_scenario)
-register_scenario("unscheduled", run_unscheduled_scenario)
-register_scenario("psm-baseline", run_psm_baseline_scenario)
-register_scenario("fleet-hotspot", run_fleet_hotspot_scenario)
+def _register_builtins() -> None:
+    # Spec factories imported lazily: repro.build imports repro.core and
+    # repro.net, both of which may be mid-import when this module loads.
+    from repro.build.presets import (
+        faulty_hotspot_world,
+        fleet_hotspot_world,
+        hotspot_world,
+        psm_baseline_world,
+        unscheduled_world,
+    )
+
+    register_scenario("hotspot", run_hotspot_scenario, hotspot_world)
+    register_scenario(
+        "faulty-hotspot", run_faulty_hotspot_scenario, faulty_hotspot_world
+    )
+    register_scenario("unscheduled", run_unscheduled_scenario, unscheduled_world)
+    register_scenario(
+        "psm-baseline", run_psm_baseline_scenario, psm_baseline_world
+    )
+    register_scenario(
+        "fleet-hotspot", run_fleet_hotspot_scenario, fleet_hotspot_world
+    )
+
+
+_register_builtins()

@@ -13,7 +13,7 @@ crossover; :class:`HybridArqFec` runs the combined scheme over a
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.link.arq import ArqStats, BitPipe
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 #: Broadcast address understood by :class:`repro.mac.medium.Medium`.
 BROADCAST = "*"

@@ -7,52 +7,21 @@ covering cell, the handoff controller roams clients as they walk, and
 each cell's resource manager keeps scheduling large bursts so every
 WNIC sleeps between them — the per-client energy outcome must survive
 fleet scale, which is what the BENCH_fleet trajectory tracks.
+
+Since the :mod:`repro.build` composition layer this entry point is a
+thin shim: per-client assembly goes through exactly the same
+:func:`~repro.build.builder.build_managed_client` path as the single-AP
+scenarios, with the fleet layers (topology, association, steering,
+handoff) wired around it by the builder's fleet mode.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
-from repro.apps.traffic import Mp3Stream
-from repro.core.client import HotspotClient
-from repro.core.interfaces import (
-    ManagedInterface,
-    bluetooth_interface,
-    wlan_interface,
-)
-from repro.core.scenario import (
-    _MP3_DECODE_BUSY_FRACTION,
-    ClientOutcome,
-    ScenarioResult,
-    _make_contract,
-)
+from repro.core.outcome import ScenarioResult
 from repro.core.scheduling import BurstScheduler
-from repro.devices import ipaq_3970
 from repro.devices.profiles import DeviceProfile
-from repro.net.association import AssociationManager
-from repro.net.fleet import FleetCoordinator
-from repro.net.handoff import HandoffController
-from repro.net.topology import Topology, linear_deployment
-from repro.phy import Radio
-from repro.phy.mobility import RandomWaypoint
-from repro.sim import RandomStreams, Simulator
-
-
-def _association_quality(association, topology, client_name, kind, mobility):
-    """A quality signal that follows the client's *current* cell.
-
-    Re-pointing the association (admission or handoff) instantly flips
-    the signal to the new site's link budget — the interface-selection
-    policy inside the cell never knows roaming exists.
-    """
-
-    def quality(time_s: float) -> float:
-        site = association.site_of(client_name)
-        if site is None:
-            return 0.0
-        return topology.quality(site, kind, mobility.position(time_s))
-
-    return quality
 
 
 def run_fleet_hotspot_scenario(
@@ -96,119 +65,32 @@ def run_fleet_hotspot_scenario(
     association churn, per-cell breakdowns and the full handoff
     timeline) into the campaign summary record.
     """
-    if n_clients < 1:
-        raise ValueError("need at least one client")
-    if n_aps < 1:
-        raise ValueError("need at least one access point")
-    if duration_s <= 0:
-        raise ValueError("duration must be positive")
-    if arena_depth_m <= 0:
-        raise ValueError("arena depth must be positive")
-    sim = Simulator()
-    if obs is not None:
-        obs.attach(sim)
-    streams = RandomStreams(seed=seed)
-    platform = platform or ipaq_3970()
-    topology: Topology = linear_deployment(
-        n_aps, spacing_m=ap_spacing_m, y_m=arena_depth_m / 2.0
-    )
-    association = AssociationManager(sim, topology)
-    fleet = FleetCoordinator(
-        sim,
-        topology,
-        association,
-        coverage_threshold=coverage_threshold,
-        gauge_interval_s=gauge_interval_s,
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import fleet_hotspot_world
+
+    spec = fleet_hotspot_world(
+        n_clients=n_clients,
+        n_aps=n_aps,
+        duration_s=duration_s,
+        bitrate_bps=bitrate_bps,
         scheduler=scheduler,
+        burst_bytes=burst_bytes,
+        client_buffer_bytes=client_buffer_bytes,
         epoch_s=epoch_s,
-        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
+        ap_spacing_m=ap_spacing_m,
+        arena_depth_m=arena_depth_m,
+        speed_range_m_s=speed_range_m_s,
+        pause_range_s=pause_range_s,
         utilisation_cap=utilisation_cap,
-        load_aware_selection=True,
-    )
-    handoff = HandoffController(
-        sim,
-        fleet,
-        streams,
-        check_interval_s=handoff_check_interval_s,
+        coverage_threshold=coverage_threshold,
+        handoff_check_interval_s=handoff_check_interval_s,
         hysteresis_margin=hysteresis_margin,
         min_dwell_s=min_dwell_s,
-        latency_range_s=handoff_latency_range_s,
+        handoff_latency_range_s=handoff_latency_range_s,
+        gauge_interval_s=gauge_interval_s,
+        seed=seed,
+        platform=platform,
+        server_prefetch_s=server_prefetch_s,
+        label=label,
     )
-    arena = ((0.0, 0.0), (n_aps * ap_spacing_m, arena_depth_m))
-    clients: List[HotspotClient] = []
-    radios: Dict[str, Radio] = {}
-    for index in range(n_clients):
-        name = f"client{index}"
-        mobility = RandomWaypoint(
-            streams,
-            name,
-            area=arena,
-            speed_range_m_s=speed_range_m_s,
-            pause_range_s=pause_range_s,
-        )
-        available: Dict[str, ManagedInterface] = {
-            "bluetooth": bluetooth_interface(
-                sim,
-                name=f"{name}/bluetooth",
-                quality=_association_quality(
-                    association, topology, name, "bluetooth", mobility
-                ),
-            ),
-            "wlan": wlan_interface(
-                sim,
-                name=f"{name}/wlan",
-                quality=_association_quality(
-                    association, topology, name, "wlan", mobility
-                ),
-            ),
-        }
-        contract = _make_contract(name, bitrate_bps, client_buffer_bytes)
-        client = HotspotClient(sim, name, contract, available, platform=platform)
-        fleet.admit(client, mobility.position(0.0))
-        handoff.track(name, mobility)
-        clients.append(client)
-        for interface in available.values():
-            radios[interface.radio.name] = interface.radio
-        if server_prefetch_s > 0:
-            fleet.ingest(name, int(server_prefetch_s * bitrate_bps / 8.0))
-        source = Mp3Stream(bitrate_bps=bitrate_bps)
-        source.start(sim, fleet.sink_for(name), until_s=duration_s)
-    fleet.start()
-    handoff.start()
-    sim.run(until=duration_s)
-    outcomes = []
-    for client in clients:
-        session = fleet.session_of(client.name)
-        outcomes.append(
-            ClientOutcome(
-                name=client.name,
-                qos=client.finish(),
-                energy=client.energy_report(_MP3_DECODE_BUSY_FRACTION),
-                wnic_average_power_w=client.wnic_average_power_w(),
-                bursts=client.bursts_received,
-                bytes_received=client.bytes_received,
-                switchovers=session.switchovers,
-                interface_log=list(session.interface_log),
-            )
-        )
-    scheduler_name = (
-        scheduler if isinstance(scheduler, str) else scheduler.name
-    )
-    extras: Dict[str, object] = {
-        "n_aps": n_aps,
-        "handoffs": handoff.handoffs,
-        "handoff_suspensions": handoff.suspensions,
-        "handoffs_declined": handoff.declined,
-        "association_churn": association.churn,
-        "admission_rejections": fleet.rejected,
-        "cells": fleet.cell_summary(),
-        "handoff_timeline": handoff.timeline_records(),
-        "sim_events": sim.events_scheduled,
-    }
-    return ScenarioResult(
-        label=label or f"fleet-hotspot[{scheduler_name}]",
-        duration_s=duration_s,
-        clients=outcomes,
-        radios=radios,
-        extras=extras,
-    )
+    return WorldBuilder(spec).run(obs=obs)

@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import IO, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.report import format_table
 from repro.obs.bus import TraceBus, TraceEvent

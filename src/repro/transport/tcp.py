@@ -255,7 +255,6 @@ class TcpSender:
             pending.succeed()
 
     def _sender_loop(self):
-        start = self.sim.now
         while self.snd_una < self.total_bytes:
             # Fill the window.
             while (

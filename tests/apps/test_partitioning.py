@@ -71,7 +71,7 @@ class TestBestPlan:
             result_bytes=1000,
             server_speedup=10.0,
         )
-        unconstrained = partitioner.best_plan()
+        partitioner.best_plan()
         # Force everything local with an impossible link-latency budget:
         # the all-mobile cut takes 1 s of CPU, offloading adds link time.
         tight = partitioner.best_plan(latency_budget_s=1.01)

@@ -1,0 +1,61 @@
+"""The scenario registry's introspection and the ``repro scenarios`` CLI."""
+
+import json
+
+from repro.__main__ import main
+from repro.exp import scenario_entries, scenario_entry, scenario_names
+
+EXPECTED = [
+    "faulty-hotspot",
+    "fleet-hotspot",
+    "hotspot",
+    "psm-baseline",
+    "unscheduled",
+]
+
+
+class TestRegistryMetadata:
+    def test_builtins_registered_sorted(self):
+        assert [n for n in scenario_names() if n in EXPECTED] == EXPECTED
+
+    def test_every_builtin_is_declarative(self):
+        for name in EXPECTED:
+            assert scenario_entry(name).spec_factory is not None, name
+
+    def test_parameters_come_from_spec_factory(self):
+        entry = scenario_entry("hotspot")
+        params = {p.name: p for p in entry.parameters}
+        assert params["n_clients"].default == 3
+        assert params["burst_bytes"].default == 40_000
+        # Engine-managed params never appear as sweepables.
+        assert "seed" not in params and "obs" not in params
+
+    def test_descriptions_come_from_docstrings(self):
+        assert "Figure-2 baseline" in scenario_entry("unscheduled").description
+
+    def test_describe_payload_is_json_serialisable(self):
+        for entry in scenario_entries():
+            json.dumps(entry.describe())
+
+
+class TestScenariosCommand:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED:
+            assert name in out
+        assert "n_clients" in out and "declarative spec" in out
+
+    def test_json_output_round_trips(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload]
+        assert set(EXPECTED) <= set(names)
+        fleet = next(e for e in payload if e["name"] == "fleet-hotspot")
+        defaults = {p["name"]: p.get("default") for p in fleet["parameters"]}
+        assert defaults["n_aps"] == 4
+
+    def test_single_scenario_filter(self, capsys):
+        assert main(["scenarios", "--scenario", "psm-baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["psm-baseline"]

@@ -1,0 +1,107 @@
+"""WorldSpec and friends: validation, normalisation, description."""
+
+import pytest
+
+from repro.build import (
+    FleetSpec,
+    InterfaceSpec,
+    NodeSpec,
+    TrafficSpec,
+    WorldSpec,
+    uniform_nodes,
+)
+
+
+class TestInterfaceSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown interface kind"):
+            InterfaceSpec(kind="zigbee")
+
+    def test_quality_script_normalised_to_float_tuples(self):
+        spec = InterfaceSpec(kind="bluetooth", quality_script=[(0, 1), (40, 0.2)])
+        assert spec.quality_script == ((0.0, 1.0), (40.0, 0.2))
+
+    def test_hashable_for_spec_reuse(self):
+        assert hash(InterfaceSpec("wlan")) == hash(InterfaceSpec("wlan"))
+
+
+class TestTrafficSpec:
+    def test_rejects_nonpositive_bitrate(self):
+        with pytest.raises(ValueError, match="bitrate"):
+            TrafficSpec(bitrate_bps=0.0)
+
+    def test_dict_options_normalised_sorted(self):
+        spec = TrafficSpec(kind="onoff", options={"on_s": 2.0, "off_s": 1.0})
+        assert spec.options == (("off_s", 1.0), ("on_s", 2.0))
+        assert spec.option_dict == {"on_s": 2.0, "off_s": 1.0}
+
+
+class TestNodeSpec:
+    def test_requires_interfaces(self):
+        with pytest.raises(ValueError, match="at least one interface"):
+            NodeSpec(name="c0", interfaces=())
+
+    def test_contract_rate_defaults_to_traffic_bitrate(self):
+        node = NodeSpec(
+            name="c0",
+            interfaces=(InterfaceSpec("wlan"),),
+            traffic=TrafficSpec(bitrate_bps=64_000.0),
+        )
+        assert node.contract_rate_bps == 64_000.0
+
+    def test_contract_rate_override(self):
+        node = NodeSpec(
+            name="c0",
+            interfaces=(InterfaceSpec("wlan"),),
+            stream_rate_bps=256_000.0,
+        )
+        assert node.contract_rate_bps == 256_000.0
+
+
+class TestWorldSpec:
+    def test_rejects_unknown_delivery(self):
+        with pytest.raises(ValueError, match="unknown delivery mode"):
+            WorldSpec(delivery="multicast")
+
+    def test_rejects_duplicate_client_names(self):
+        node = NodeSpec(name="dup", interfaces=(InterfaceSpec("wlan"),))
+        with pytest.raises(ValueError, match="unique"):
+            WorldSpec(clients=(node, node))
+
+    def test_fleet_delivery_gets_default_fleet_spec(self):
+        spec = WorldSpec(delivery="fleet")
+        assert isinstance(spec.fleet, FleetSpec)
+
+    def test_describe_is_json_shaped(self):
+        spec = WorldSpec(
+            clients=uniform_nodes(
+                2,
+                [InterfaceSpec("bluetooth"), InterfaceSpec("wlan")],
+                TrafficSpec(),
+            )
+        )
+        view = spec.describe()
+        assert view["delivery"] == "hotspot"
+        assert [c["name"] for c in view["clients"]] == ["client0", "client1"]
+        assert [i["kind"] for i in view["clients"][0]["interfaces"]] == [
+            "bluetooth",
+            "wlan",
+        ]
+
+
+class TestUniformNodes:
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            uniform_nodes(0, [InterfaceSpec("wlan")], TrafficSpec())
+
+    def test_names_follow_format(self):
+        nodes = uniform_nodes(
+            3, [InterfaceSpec("wlan")], TrafficSpec(), name_format="sta{index}"
+        )
+        assert [n.name for n in nodes] == ["sta0", "sta1", "sta2"]
+
+    def test_node_kwargs_forwarded(self):
+        nodes = uniform_nodes(
+            1, [InterfaceSpec("wlan")], TrafficSpec(), buffer_bytes=12_345
+        )
+        assert nodes[0].buffer_bytes == 12_345

@@ -6,7 +6,6 @@ the channel.  Fleet cells concentrate many co-located clients; without
 the aggregate check they would all pick Bluetooth and starve.
 """
 
-import pytest
 
 from repro.core import (
     HotspotClient,

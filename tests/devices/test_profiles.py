@@ -1,6 +1,5 @@
 """Sanity checks on the calibrated device profiles."""
 
-import pytest
 
 from repro.devices import bluetooth_module, gprs_modem, ipaq_3970, wlan_cf_card
 from repro.devices.profiles import (

@@ -9,7 +9,6 @@ import random
 
 import pytest
 
-from repro.apps import PoissonTraffic
 from repro.devices import wlan_cf_card
 from repro.mac import AccessPoint, DcfStation, Medium, PsmStation
 from repro.mac.frames import FrameKind

@@ -6,7 +6,6 @@ burst scheduling compose: the proxy thins the stream, the RM bursts what
 remains, and the client's radio works strictly less.
 """
 
-import pytest
 
 from repro.apps import MediaProxy, Mp3Stream, VideoStream
 from repro.apps.traffic import merge_arrivals

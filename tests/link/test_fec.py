@@ -1,6 +1,5 @@
 """Tests for FEC codes and the ARQ-vs-FEC energy trade-off."""
 
-import math
 import random
 
 import pytest

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.devices import wlan_cf_card
-from repro.mac import DcfConfig, DcfStation, Dot11Timing, Medium
+from repro.mac import DcfStation, Medium
 from repro.mac.frames import BROADCAST, Frame, FrameKind
 from repro.phy import Radio
 from repro.sim import RandomStreams, Simulator
@@ -49,7 +49,7 @@ def test_delivery_takes_at_least_difs_plus_airtime():
     results = []
 
     def sender(sim):
-        ok = yield a.send("b", 1500)
+        yield a.send("b", 1500)
         results.append(sim.now)
 
     sim.process(sender(sim))
@@ -81,7 +81,7 @@ def test_contending_stations_all_deliver():
     medium = Medium(sim)
     streams = RandomStreams(seed=3)
     received = []
-    sink = DcfStation(
+    DcfStation(
         sim, medium, "sink", rng=streams.stream("sink"),
         on_receive=lambda f: received.append(f),
     )
@@ -195,7 +195,7 @@ def test_radio_tx_energy_accounted():
     streams = RandomStreams(seed=1)
     radio = Radio(sim, wlan_cf_card())
     a = DcfStation(sim, medium, "a", rng=streams.stream("a"), radio=radio)
-    b = DcfStation(sim, medium, "b", rng=streams.stream("b"))
+    DcfStation(sim, medium, "b", rng=streams.stream("b"))
 
     def sender(sim):
         yield a.send("b", 1500)
@@ -212,13 +212,13 @@ def test_receiver_radio_charged_rx_delta():
     streams = RandomStreams(seed=1)
     radio = Radio(sim, wlan_cf_card())
     a = DcfStation(sim, medium, "a", rng=streams.stream("a"))
-    b = DcfStation(sim, medium, "b", rng=streams.stream("b"), radio=radio)
+    DcfStation(sim, medium, "b", rng=streams.stream("b"), radio=radio)
 
     def sender(sim):
         yield a.send("b", 1500)
 
     sim.process(sender(sim))
-    end = sim.run()
+    sim.run()
     airtime = a.timing.data_airtime_s(1500, a.config.rate_bps)
     model = wlan_cf_card()
     rx_delta = (model.power("rx") - model.power("idle")) * airtime
@@ -237,7 +237,7 @@ def test_dozing_radio_hears_nothing():
     radio = Radio(sim, wlan_cf_card())
     received = []
     a = DcfStation(sim, medium, "a", rng=streams.stream("a"))
-    b = DcfStation(
+    DcfStation(
         sim, medium, "b", rng=streams.stream("b"), radio=radio,
         on_receive=lambda f: received.append(f),
     )

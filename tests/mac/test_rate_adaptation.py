@@ -1,12 +1,10 @@
 """Tests for ARF/AARF rate adaptation."""
 
-import random
 
 import pytest
 
 from repro.mac import AarfRateController, ArfRateController, DcfConfig, DcfStation, Medium
 from repro.mac.frames import FrameKind
-from repro.mac.rate_adaptation import DEFAULT_RATES_BPS
 from repro.sim import RandomStreams, Simulator
 
 

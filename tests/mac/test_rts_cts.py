@@ -1,6 +1,5 @@
 """Tests for the RTS/CTS exchange in DCF."""
 
-import pytest
 
 from repro.mac import DcfConfig, DcfStation, Medium
 from repro.mac.frames import FrameKind
@@ -97,7 +96,7 @@ def test_rts_collision_cheaper_than_data_collision():
         sim = Simulator()
         medium = Medium(sim)
         streams = RandomStreams(seed=3)
-        sink = DcfStation(sim, medium, "sink", rng=streams.stream("sink"))
+        DcfStation(sim, medium, "sink", rng=streams.stream("sink"))
         stations = [
             DcfStation(
                 sim, medium, f"s{i}", rng=streams.stream(f"s{i}"),
@@ -113,7 +112,6 @@ def test_rts_collision_cheaper_than_data_collision():
         for station in stations:
             sim.process(burst(sim, station))
         sim.run(until=10.0)
-        collided_airtime = 0.0
         return medium, stations
 
     bare_medium, bare_stations = run(rts_threshold=None)

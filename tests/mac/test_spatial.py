@@ -1,6 +1,5 @@
 """Tests for the spatial medium: hidden terminals and NAV/RTS rescue."""
 
-import pytest
 
 from repro.mac import (
     DcfConfig,
@@ -41,8 +40,8 @@ class TestSpatialSensing:
         sim, medium = self.make()
         streams = RandomStreams(seed=1)
         a = DcfStation(sim, medium, "a", rng=streams.stream("a"))
-        b = DcfStation(sim, medium, "b", rng=streams.stream("b"))
-        c = DcfStation(sim, medium, "c", rng=streams.stream("c"))
+        DcfStation(sim, medium, "b", rng=streams.stream("b"))
+        DcfStation(sim, medium, "c", rng=streams.stream("c"))
         observations = []
 
         def observer(sim):
@@ -64,7 +63,7 @@ class TestSpatialSensing:
         streams = RandomStreams(seed=2)
         received = []
         a = DcfStation(sim, medium, "a", rng=streams.stream("a"))
-        c = DcfStation(
+        DcfStation(
             sim, medium, "c", rng=streams.stream("c"),
             on_receive=lambda f: received.append(f),
         )
@@ -84,7 +83,7 @@ def run_hidden_terminal(rts_threshold, n_frames=25, seed=5):
     medium = SpatialMedium(sim, audibility=hidden_terminal_audibility())
     streams = RandomStreams(seed=seed)
     received = []
-    b = DcfStation(
+    DcfStation(
         sim, medium, "b", rng=streams.stream("b"),
         on_receive=lambda f: received.append(f),
     )

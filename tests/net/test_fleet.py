@@ -9,7 +9,6 @@ from repro.core import (
     wlan_interface,
 )
 from repro.core.server import AdmissionError
-from repro.net.association import AssociationManager
 from repro.net.fleet import FleetCoordinator
 from repro.net.topology import linear_deployment
 from repro.sim import Simulator

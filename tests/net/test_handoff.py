@@ -1,6 +1,5 @@
 """Roaming semantics: hysteresis, forced roams, QoS guard, determinism."""
 
-import pytest
 
 from repro.core import (
     HotspotClient,
@@ -10,7 +9,6 @@ from repro.core import (
 )
 from repro.exp import CampaignSpec, campaign_payload, dump_json, run_campaign
 from repro.net import run_fleet_hotspot_scenario
-from repro.net.association import AssociationManager
 from repro.net.fleet import FleetCoordinator
 from repro.net.handoff import HandoffController
 from repro.net.topology import linear_deployment

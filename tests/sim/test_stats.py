@@ -1,6 +1,5 @@
 """Tests for the statistics collectors."""
 
-import math
 
 import pytest
 

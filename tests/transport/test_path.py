@@ -21,7 +21,6 @@ def test_delivery_after_serialisation_plus_delay():
     path.send(segment)
     sim.run(until=1.0)
     assert delivered == [segment]
-    wire = (1000 + 40) * 8 / 1e6
     # Segment lands at serialisation + propagation.
     assert path.segments_delivered == 1
 
