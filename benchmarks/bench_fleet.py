@@ -38,7 +38,7 @@ def run_fleet_scaling():
             seed=0,
         )
         runtime_s = time.perf_counter() - started
-        events = result.extras["sim_events"]
+        events = result.sim_events
         rows.append(
             {
                 "n_clients": n_clients,

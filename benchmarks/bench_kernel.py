@@ -1,0 +1,132 @@
+"""Kernel throughput baseline — events per wall-clock second by scenario.
+
+The CI perf gate: how fast does the discrete-event kernel push each
+registered scenario?  Every point runs one scenario for a fixed stretch
+of simulated time, counts the events the kernel scheduled
+(``ScenarioResult.sim_events``) and divides by wall-clock runtime.
+Results land in ``benchmarks/BENCH_kernel.json``;
+``scripts/check_bench.py`` gates CI on a conservative events/s floor so
+an order-of-magnitude kernel regression fails the build without making
+the gate flaky on slow machines.
+
+Runs two ways:
+
+- ``pytest benchmarks/bench_kernel.py`` — the pytest-benchmark wrapper,
+  like every other bench module;
+- ``python benchmarks/bench_kernel.py [--duration S] [--out FILE]`` —
+  direct invocation for ci.sh (no pytest-benchmark needed).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.exp.scenarios import get_scenario
+
+DURATION_S = 30.0
+#: scenario name -> extra kwargs (shape stays small: this measures the
+#: kernel, not the workload generator).
+SCENARIO_POINTS = (
+    ("unscheduled", {"n_clients": 3}),
+    ("psm-baseline", {"n_clients": 3}),
+    ("hotspot", {"n_clients": 3}),
+    ("faulty-hotspot", {"n_clients": 3, "outage_start_s": 10.0,
+                        "outage_duration_s": 5.0}),
+    ("fleet-hotspot", {"n_clients": 12, "n_aps": 3}),
+)
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+
+def run_kernel_throughput(duration_s=DURATION_S):
+    rows = []
+    for name, kwargs in SCENARIO_POINTS:
+        fn = get_scenario(name)
+        started = time.perf_counter()
+        result = fn(duration_s=duration_s, seed=0, **kwargs)
+        runtime_s = time.perf_counter() - started
+        events = result.sim_events
+        rows.append(
+            {
+                "scenario": name,
+                "sim_duration_s": duration_s,
+                "runtime_s": runtime_s,
+                "sim_events": events,
+                "events_per_s": events / runtime_s if runtime_s > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def write_record(rows, path=RECORD_PATH):
+    path.write_text(
+        json.dumps(
+            {
+                "bench": "kernel",
+                "python": sys.version.split()[0],
+                "points": rows,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def render_rows(rows):
+    from repro.metrics import format_table
+
+    return format_table(
+        ["scenario", "runtime (s)", "events", "events/s"],
+        [
+            [
+                r["scenario"],
+                round(r["runtime_s"], 3),
+                r["sim_events"],
+                round(r["events_per_s"]),
+            ]
+            for r in rows
+        ],
+        title=f"Kernel throughput ({rows[0]['sim_duration_s']:.0f} s simulated)",
+    )
+
+
+def test_bench_kernel_throughput(benchmark, emit):
+    from conftest import run_once
+
+    rows = run_once(benchmark, run_kernel_throughput)
+    write_record(rows)
+    emit(render_rows(rows))
+    assert {r["scenario"] for r in rows} == {n for n, _ in SCENARIO_POINTS}
+    for row in rows:
+        assert row["sim_events"] > 0, f"{row['scenario']} scheduled no events"
+        assert row["events_per_s"] > 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=DURATION_S,
+        metavar="SECONDS",
+        help="simulated seconds per scenario point",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=RECORD_PATH,
+        metavar="FILE",
+        help="where to write the BENCH_kernel.json record",
+    )
+    args = parser.parse_args(argv)
+    rows = run_kernel_throughput(args.duration)
+    write_record(rows, args.out)
+    print(render_rows(rows))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Gate CI on a kernel-throughput record from ``bench_kernel.py``.
+
+Two checks, both against ``BENCH_kernel.json``:
+
+- **floor** — every scenario point must clear ``--min-events-per-s``
+  wall-clock events/s.  The default floor is deliberately conservative
+  (an order of magnitude under typical machines): it catches a kernel
+  that has fallen off a cliff, not day-to-day machine noise.
+- **baseline** (optional) — with ``--baseline FILE``, every point must
+  reach ``--tolerance`` times the matching scenario's events/s in the
+  older record.  For local before/after comparisons; CI uses the floor.
+
+Exit status 0 = pass, 1 = regression, 2 = unusable record.
+"""
+
+import argparse
+import json
+import sys
+
+#: Conservative default: real machines do tens of thousands events/s.
+DEFAULT_FLOOR_EVENTS_PER_S = 2000.0
+
+
+def load_points(path):
+    try:
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        points = payload["points"]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"check_bench: unusable record {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if not points:
+        print(f"check_bench: {path} has no points", file=sys.stderr)
+        sys.exit(2)
+    return {p["scenario"]: p for p in points}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="BENCH_kernel.json to check")
+    parser.add_argument(
+        "--min-events-per-s",
+        type=float,
+        default=DEFAULT_FLOOR_EVENTS_PER_S,
+        metavar="RATE",
+        help="wall-clock events/s floor every scenario must clear "
+        f"(default: {DEFAULT_FLOOR_EVENTS_PER_S:.0f})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="older BENCH_kernel.json to compare against per scenario",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="with --baseline: minimum fraction of the baseline events/s "
+        "each scenario must reach (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    points = load_points(args.record)
+    failures = []
+    for name, point in sorted(points.items()):
+        rate = point.get("events_per_s", 0.0)
+        events = point.get("sim_events", 0)
+        if events <= 0:
+            failures.append(f"{name}: scheduled no events")
+        elif rate < args.min_events_per_s:
+            failures.append(
+                f"{name}: {rate:.0f} events/s under the "
+                f"{args.min_events_per_s:.0f} floor"
+            )
+        else:
+            print(f"check_bench: {name}: {rate:.0f} events/s ok")
+
+    if args.baseline:
+        baseline = load_points(args.baseline)
+        for name, point in sorted(points.items()):
+            if name not in baseline:
+                continue
+            rate = point.get("events_per_s", 0.0)
+            floor = baseline[name].get("events_per_s", 0.0) * args.tolerance
+            if rate < floor:
+                failures.append(
+                    f"{name}: {rate:.0f} events/s is under "
+                    f"{args.tolerance:.0%} of the baseline "
+                    f"({baseline[name]['events_per_s']:.0f})"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"check_bench: FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"check_bench: all {len(points)} scenario(s) pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

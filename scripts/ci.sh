@@ -198,4 +198,59 @@ print(f"fleet ok: {record['handoffs']} handoffs across "
       f"{record['n_aps']} cells, QoS held, {served} bursts served")
 EOF
 
+echo "== kernel perf gate =="
+bench_dir="$(mktemp -d /tmp/repro-bench.XXXXXX)"
+report_dir="$(mktemp -d /tmp/repro-report.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$bench_dir" "$report_dir"' EXIT
+# Short simulated stretch: the gate measures kernel wall-clock
+# throughput, which is independent of how long the scenario runs.
+python benchmarks/bench_kernel.py --duration 5 --out "$bench_dir/BENCH_kernel.json" \
+  > /dev/null
+python scripts/check_bench.py "$bench_dir/BENCH_kernel.json"
+
+echo "== report smoke check =="
+python -m repro campaign --scenario hotspot \
+  --param n_clients=1,2 --set duration_s=5 --seeds 1 \
+  --name ci-report --timeseries 1 --store "$report_dir" --json \
+  > /dev/null 2> "$report_dir/run.err"
+python -m repro report "$report_dir" -o "$report_dir/report.html" \
+  --bench "$bench_dir/BENCH_kernel.json" --json > "$report_dir/summary.json"
+
+python - "$report_dir" <<'EOF'
+import json
+import os
+import re
+import sys
+
+report_dir = sys.argv[1]
+summary = json.load(open(os.path.join(report_dir, "summary.json")))
+if summary["runs"] != 2 or summary["failed"] != 0:
+    sys.exit(f"report smoke: unexpected run counts: {summary}")
+if summary["timeseries"] != 2:
+    sys.exit(f"report smoke: expected 2 timeseries files: {summary}")
+page = open(os.path.join(report_dir, "report.html"), encoding="utf-8").read()
+for anchor in ('id="overview"', 'id="runs"', 'id="failures"',
+               'id="timeseries"', 'id="kernel"'):
+    if anchor not in page:
+        sys.exit(f"report smoke: missing section {anchor}")
+if re.search(r'(?:src|href)\s*=\s*["\']https?://', page):
+    sys.exit("report smoke: page references external resources")
+match = re.search(
+    r'<script type="application/json" id="report-data">(.*?)</script>',
+    page, re.S)
+data = json.loads(match.group(1).replace("<\\/", "</"))
+if len(data["timeseries"]) != 2:
+    sys.exit("report smoke: embedded payload lost the timeseries")
+for block in data["timeseries"].values():
+    if not block["rows"] or "time_s" not in block["columns"]:
+        sys.exit("report smoke: timeseries block has no samples")
+heartbeats = [json.loads(line) for line in
+              open(os.path.join(report_dir, "progress.jsonl"))]
+kinds = {beat["kind"] for beat in heartbeats}
+if not {"campaign-start", "run", "campaign-end"} <= kinds:
+    sys.exit(f"report smoke: heartbeat kinds incomplete: {sorted(kinds)}")
+print(f"report ok: {summary['bytes']} bytes, self-contained, "
+      f"{summary['timeseries']} charts, {len(heartbeats)} heartbeats")
+EOF
+
 echo "ci.sh: all checks passed"

@@ -21,6 +21,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
+from repro.core.outcome import VOLATILE_TIMING_FIELDS  # noqa: E402
 from repro.exp import dumps_strict, get_scenario  # noqa: E402
 
 GOLDEN_SEEDS = (0, 1)
@@ -70,7 +71,14 @@ def main() -> int:
         records = {}
         for seed in GOLDEN_SEEDS:
             result = fn(**params, seed=seed)
-            records[str(seed)] = dumps_strict(result.summary_record())
+            # Wall-clock fields measure the host, not the simulation —
+            # goldens pin only the deterministic part of the record.
+            record = {
+                k: v
+                for k, v in result.summary_record().items()
+                if k not in VOLATILE_TIMING_FIELDS
+            }
+            records[str(seed)] = dumps_strict(record)
         payload = {"scenario": name, "params": params, "records": records}
         path = os.path.join(out_dir, f"{name}.json")
         with open(path, "w", encoding="utf-8") as stream:

@@ -7,15 +7,17 @@ Usage::
     python -m repro sweep-schedulers     # ablation A-sched
     python -m repro sweep-bursts         # ablation A-burst
     python -m repro campaign ...         # declarative parameter-grid campaigns
+    python -m repro report STORE -o FILE # self-contained HTML dashboard
     python -m repro trace                # run a scenario, summarise its trace
     python -m repro --version
     python -m repro --help
 
 Every subcommand accepts the observability flags ``--trace FILE``
 (JSONL event stream), ``--chrome-trace FILE`` (Perfetto-loadable),
-``--profile`` (kernel wall-clock profile) and ``--metrics`` (registry
-summary table).  Without any of them the run is bit-identical to an
-un-instrumented one.
+``--profile`` (kernel wall-clock profile), ``--metrics`` (registry
+summary table) and ``--timeseries FILE`` (in-run sampled counters at
+``--timeseries-interval`` simulated seconds).  Without any of them the
+run is bit-identical to an un-instrumented one.
 
 The sweep commands and ``campaign`` run through the
 :mod:`repro.exp` engine: add ``--jobs N`` to fan runs out across a
@@ -318,6 +320,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for option in args.set or []:
         name, value = _parse_setting(option)
         base[name] = value
+    if args.timeseries is not None and not args.store:
+        print(
+            "error: --timeseries streams per-run samples into the result "
+            "store; add --store DIR",
+            file=sys.stderr,
+        )
+        return 2
     spec = CampaignSpec(
         name=args.name or f"campaign-{args.scenario}",
         scenario=args.scenario,
@@ -325,6 +334,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         grid=grid,
         seeds=[args.seed + i for i in range(args.seeds)],
         collect_metrics=args.metrics,
+        timeseries_interval_s=args.timeseries,
     )
     store: Optional[ResultStore] = None
     if args.store:
@@ -369,6 +379,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         title=f"Campaign {spec.name} "
         f"({spec.scenario}, {len(spec.seeds)} seed(s))",
         sort_json=True,
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a campaign store as one self-contained HTML dashboard."""
+    from repro.exp.report import write_report
+
+    summary = write_report(
+        args.store_dir,
+        args.out,
+        bench_path=args.bench,
+        title=args.title,
+    )
+    if args.json:
+        print(dumps_strict(summary, indent=2))
+        return 0
+    print(
+        f"wrote {summary['path']} ({summary['bytes']} bytes): "
+        f"{summary['runs']} run(s), {summary['failed']} failed, "
+        f"{summary['timeseries']} timeseries, "
+        f"{summary['heartbeats']} heartbeat(s)"
     )
     return 0
 
@@ -502,6 +534,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the metrics-registry summary table after the run",
+    )
+    shared.add_argument(
+        "--timeseries",
+        metavar="FILE",
+        help="sample in-run counters (energy, sleep occupancy, backlog, "
+        "kernel rate) to FILE as columnar JSON lines",
+    )
+    shared.add_argument(
+        "--timeseries-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sampling cadence for --timeseries, in simulated seconds",
     )
     # A separate parent for workload sizing: parents= shares the action
     # objects by reference, so a subparser that wants different defaults
@@ -646,6 +691,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="base of the exponential backoff slept between attempts",
     )
+    campaign.add_argument(
+        "--timeseries",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample an in-run timeseries every SECONDS of simulated time "
+        "per run, streamed to timeseries/<run key>.jsonl in the store "
+        "(requires --store)",
+    )
+    report_parser = sub.add_parser(
+        "report",
+        parents=[json_flag],
+        help="render a campaign store as a self-contained HTML dashboard",
+        description="Read a campaign result store (results.jsonl, "
+        "progress.jsonl heartbeats, timeseries/*.jsonl) and write one "
+        "static HTML file — inline CSS/JS, no external resources — with "
+        "the campaign overview, the failed/quarantined run table, per-run "
+        "time-series charts and the kernel-performance table.  Example: "
+        "repro report .campaigns/demo -o report.html "
+        "--bench BENCH_kernel.json",
+    )
+    report_parser.add_argument(
+        "store_dir",
+        metavar="STORE",
+        help="campaign store directory (the --store of a previous campaign)",
+    )
+    report_parser.add_argument(
+        "-o",
+        "--out",
+        default="report.html",
+        metavar="FILE",
+        help="output HTML path (default: report.html)",
+    )
+    report_parser.add_argument(
+        "--bench",
+        metavar="FILE",
+        help="include a BENCH_kernel.json kernel-throughput baseline table",
+    )
+    report_parser.add_argument(
+        "--title",
+        default="Campaign report",
+        help="dashboard title",
+    )
     fleet = sub.add_parser(
         "fleet",
         parents=[shared, json_flag],
@@ -702,6 +790,7 @@ _COMMANDS = {
     "sweep-schedulers": cmd_sweep_schedulers,
     "sweep-bursts": cmd_sweep_bursts,
     "campaign": cmd_campaign,
+    "report": cmd_report,
     "fleet": cmd_fleet,
     "scenarios": cmd_scenarios,
     "trace": cmd_trace,

@@ -22,6 +22,7 @@ Usage::
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.apps.traffic import build_source
@@ -100,13 +101,22 @@ class World:
         self._ran = False
 
     def run(self) -> ScenarioResult:
-        """Start the world's actors, simulate, and collect the result."""
+        """Start the world's actors, simulate, and collect the result.
+
+        The result carries the kernel's own workload figures
+        (``sim_events``, ``wall_time_s``) so stores and benchmarks read
+        throughput off the record instead of re-measuring it.
+        """
         if self._ran:
             raise RuntimeError("a World can only run once; build a fresh one")
         self._ran = True
+        started = perf_counter()
         self._mode.start(self)
         self.sim.run(until=self.spec.duration_s)
-        return self._mode.collect(self)
+        result = self._mode.collect(self)
+        result.sim_events = self.sim.events_scheduled
+        result.wall_time_s = perf_counter() - started
+        return result
 
 
 class WorldBuilder:
@@ -132,11 +142,77 @@ class WorldBuilder:
         mode = _MODES[spec.delivery]()
         world._mode = mode
         mode.assemble(world)
+        recorder = getattr(obs, "timeseries", None)
+        if recorder is not None:
+            register_timeseries_probes(world, recorder)
         return world
 
     def run(self, obs=None) -> ScenarioResult:
         """``build().run()`` in one call."""
         return self.build(obs=obs).run()
+
+
+# -- timeseries probes ---------------------------------------------------------
+
+
+def register_timeseries_probes(world: World, recorder) -> None:
+    """Register scenario-shaped probes on a :class:`TimeseriesRecorder`.
+
+    Columns are registered in deterministic order (radios in insertion
+    order, cells sorted by name) so a seeded run's sample stream is
+    byte-identical across processes.  Probes read settled simulator
+    state only — they never schedule events or advance anything.
+    """
+    sim = world.sim
+    for name, radio in world.radios.items():
+        recorder.probe(f"energy_j.{name}", _energy_probe(sim, radio))
+        recorder.probe(f"sleep_frac.{name}", _sleep_probe(sim, radio))
+    if world.server is not None:
+        sessions = world.server.sessions
+        recorder.probe(
+            "backlog_bytes",
+            lambda s=sessions: float(
+                sum(session.backlog_bytes for session in s.values())
+            ),
+        )
+    if world.fleet is not None:
+        fleet = world.fleet
+        for cell_name in sorted(fleet.cells):
+            recorder.probe(
+                f"cell_load.{cell_name}",
+                lambda f=fleet, c=cell_name: float(
+                    f.load_fraction(f.cells[c])
+                ),
+            )
+        names = [client.name for client in world.clients]
+        recorder.probe(
+            "backlog_bytes",
+            lambda f=fleet, ns=names: float(
+                sum(f.session_of(n).backlog_bytes for n in ns)
+            ),
+        )
+
+
+def _energy_probe(sim, radio):
+    return lambda: radio.energy_j(sim.now)
+
+
+def _sleep_probe(sim, radio):
+    """Fraction of elapsed time the radio spent in non-communicating
+    (sleep/park/doze/off) states — the paper's sleep-occupancy axis."""
+    sleep_states = [
+        name
+        for name, state in radio.model.states.items()
+        if not state.can_communicate
+    ]
+
+    def sample() -> float:
+        elapsed = sim.now
+        if elapsed <= 0.0:
+            return 0.0
+        return sum(radio.time_in_state(s) for s in sleep_states) / elapsed
+
+    return sample
 
 
 # -- shared per-client assembly ------------------------------------------------
@@ -563,7 +639,6 @@ class _FleetMode(_DeliveryMode):
             "admission_rejections": world.fleet.rejected,
             "cells": world.fleet.cell_summary(),
             "handoff_timeline": world.handoff.timeline_records(),
-            "sim_events": world.sim.events_scheduled,
         }
         extras.update(world.spec.extras)
         return ScenarioResult(

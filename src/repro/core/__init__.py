@@ -38,6 +38,7 @@ from repro.core.client import HotspotClient
 from repro.core.server import HotspotServer, InterfaceSelectionPolicy
 from repro.core.scenario import (
     ScenarioResult,
+    VOLATILE_TIMING_FIELDS,
     run_faulty_hotspot_scenario,
     run_hotspot_scenario,
     run_psm_baseline_scenario,
@@ -57,6 +58,7 @@ __all__ = [
     "RateMonotonicScheduler",
     "RoundRobinScheduler",
     "ScenarioResult",
+    "VOLATILE_TIMING_FIELDS",
     "WeightedFairScheduler",
     "WeightedRoundRobinScheduler",
     "bluetooth_interface",

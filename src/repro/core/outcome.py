@@ -22,6 +22,13 @@ from repro.phy import Radio
 #: MP3 decode keeps the platform busy a modest fraction of the time.
 MP3_DECODE_BUSY_FRACTION = 0.15
 
+#: Summary-record fields that vary run-to-run on the same (params, seed)
+#: because they measure the host, not the simulation.  The campaign
+#: runner strips these from stored records (they move to the progress
+#: heartbeat instead) so caching, resume and jobs=1 == jobs=N diffs stay
+#: byte-identical.
+VOLATILE_TIMING_FIELDS = ("wall_time_s", "events_per_second")
+
 
 @dataclass
 class ClientOutcome:
@@ -51,6 +58,10 @@ class ScenarioResult:
     #: (e.g. fault-injection counters); must stay JSON-serialisable and
     #: deterministic for a given (params, seed).
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Kernel events the run scheduled (deterministic for params+seed).
+    sim_events: int = 0
+    #: Wall-clock seconds the run took — host-dependent, never cached.
+    wall_time_s: float = 0.0
 
     def mean_wnic_power_w(self) -> float:
         """Average per-client WNIC power (the paper's Figure 2 metric)."""
@@ -69,12 +80,21 @@ class ScenarioResult:
     def qos_maintained(self) -> bool:
         return all(c.qos.maintained for c in self.clients)
 
+    def events_per_second(self) -> float:
+        """Kernel throughput: events scheduled per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.sim_events / self.wall_time_s
+
     def summary_record(self) -> Dict[str, object]:
         """JSON-ready per-run summary (the campaign engine's cache unit).
 
         Only plain scalars: this is what :mod:`repro.exp` hashes runs
         against, persists in its result store, and aggregates across
         seeds — keep fields deterministic for a given (params, seed).
+        The :data:`VOLATILE_TIMING_FIELDS` are the one exception: they
+        measure the host and are stripped by the campaign runner before
+        records are stored or compared.
         """
         record: Dict[str, object] = {
             "label": self.label,
@@ -86,6 +106,9 @@ class ScenarioResult:
             "bursts": sum(c.bursts for c in self.clients),
             "bytes_received": sum(c.bytes_received for c in self.clients),
             "switchovers": sum(c.switchovers for c in self.clients),
+            "sim_events": self.sim_events,
+            "wall_time_s": self.wall_time_s,
+            "events_per_second": self.events_per_second(),
         }
         record.update(self.extras)
         return record

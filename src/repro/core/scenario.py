@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.outcome import (
     MP3_DECODE_BUSY_FRACTION,
+    VOLATILE_TIMING_FIELDS,
     ClientOutcome,
     ScenarioResult,
     make_stream_contract,
@@ -44,6 +45,7 @@ __all__ = [
     "ClientOutcome",
     "MP3_DECODE_BUSY_FRACTION",
     "ScenarioResult",
+    "VOLATILE_TIMING_FIELDS",
     "make_stream_contract",
     "run_faulty_hotspot_scenario",
     "run_hotspot_scenario",

@@ -48,6 +48,12 @@ from repro.exp.aggregate import (
 )
 from repro.exp.grid import expand_grid, grid_size
 from repro.exp.jsonio import dumps_strict, sanitize_nonfinite
+from repro.exp.progress import (
+    CampaignProgress,
+    ProgressLog,
+    StderrProgress,
+    read_progress,
+)
 from repro.exp.runner import (
     CampaignReport,
     RunResult,
@@ -78,8 +84,11 @@ from repro.exp.store import ResultStore
 
 __all__ = [
     "DEFAULT_FIELDS",
+    "CampaignProgress",
     "CampaignReport",
     "CampaignSpec",
+    "ProgressLog",
+    "StderrProgress",
     "FieldStats",
     "GridPointSummary",
     "ResultStore",
@@ -103,6 +112,7 @@ __all__ = [
     "get_scenario",
     "grid_size",
     "merge_metric_snapshots",
+    "read_progress",
     "register_scenario",
     "run_campaign",
     "run_key",

@@ -38,12 +38,18 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+import os
+
 from repro import package_version
+from repro.core.outcome import VOLATILE_TIMING_FIELDS
+from repro.exp.progress import CampaignProgress, ProgressLog, StderrProgress
 from repro.exp.scenarios import get_scenario
 from repro.exp.spec import CampaignSpec, RunSpec, canonical_params
 from repro.exp.store import ResultStore
 
-#: Payload shipped to a pool worker: (scenario, params, seed, metrics).
+#: Payload shipped to a pool worker: (scenario, params, seed, metrics)
+#: optionally extended with (timeseries_interval_s, timeseries_path,
+#: label) — the short form stays valid so existing callers keep working.
 _WorkItem = Tuple[str, Dict[str, Any], int, bool]
 
 #: Work item plus its failure policy: (item, timeout_s, retries, backoff_s).
@@ -122,21 +128,31 @@ def execute_run(item: _WorkItem) -> Dict[str, Any]:
 
     When metrics collection is on, the run gets its own
     :class:`~repro.obs.ObsSession` registry and the snapshot rides along
-    in the record under ``"metrics"``.  The session is closed on every
-    exit path — a raising scenario must not leave its collector attached
-    to a shared trace bus.
+    in the record under ``"metrics"``.  When a timeseries destination is
+    set, the session additionally samples the run's probes into that
+    file.  The session is closed on every exit path — a raising scenario
+    must not leave its collector attached to a shared trace bus.
     """
-    scenario, params, seed, collect_metrics = item
+    scenario, params, seed, collect_metrics = item[:4]
+    ts_interval = item[4] if len(item) > 4 else None
+    ts_path = item[5] if len(item) > 5 else None
+    label = item[6] if len(item) > 6 else None
     fn = get_scenario(scenario)
     obs = None
-    if collect_metrics:
+    if collect_metrics or ts_path:
         from repro.obs import ObsSession
 
-        obs = ObsSession(collect_metrics=True)
+        obs = ObsSession(
+            collect_metrics=collect_metrics,
+            timeseries_path=ts_path,
+            timeseries_interval_s=ts_interval if ts_interval else 1.0,
+        )
+        if label:
+            obs.begin_run(label)
     try:
         result = fn(**params, seed=seed, obs=obs)
         record = result.summary_record()
-        if obs is not None:
+        if collect_metrics:
             record["metrics"] = obs.metrics_snapshot()
         return record
     finally:
@@ -220,14 +236,24 @@ def guarded_call(
 
 
 def execute_run_guarded(guarded: _GuardedItem) -> Dict[str, Any]:
-    """Pool-picklable wrapper: :func:`execute_run` behind the guard."""
+    """Pool-picklable wrapper: :func:`execute_run` behind the guard.
+
+    Besides the record/error, the outcome carries telemetry the runner
+    folds into progress heartbeats: which worker executed the run and
+    the wall time it took (including retries) — measured here because
+    only the worker process knows both.
+    """
     item, timeout_s, retries, backoff_s = guarded
-    return guarded_call(
+    started = time.perf_counter()
+    outcome = guarded_call(
         lambda: execute_run(item),
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
     )
+    outcome["wall_time_s"] = time.perf_counter() - started
+    outcome["worker"] = multiprocessing.current_process().name
+    return outcome
 
 
 def _envelope(spec: RunSpec, record: Dict[str, Any], version: str) -> Dict[str, Any]:
@@ -312,14 +338,50 @@ def run_campaign(
             "collect_metrics uses a per-run obs session; "
             "drop the shared one or the flag"
         )
+    if obs is not None and spec.timeseries_interval_s is not None:
+        raise ValueError(
+            "campaign timeseries uses a per-run obs session; "
+            "drop the shared one or the interval"
+        )
 
     version = package_version()
     runs = spec.runs()
+    ts_dir: Optional[str] = None
+    if any(run.timeseries_interval_s for run in runs):
+        if store is None:
+            raise ValueError(
+                "in-run timeseries requires a result store to write "
+                "timeseries/<run key>.jsonl into"
+            )
+        ts_dir = os.path.join(store.directory, "timeseries")
+        os.makedirs(ts_dir, exist_ok=True)
+
+    def work_item(run: RunSpec) -> _WorkItem:
+        item = (run.scenario, run.kwargs, run.seed, run.collect_metrics)
+        if run.timeseries_interval_s:
+            item += (
+                run.timeseries_interval_s,
+                os.path.join(ts_dir, f"{run.key}.jsonl"),
+                run.label,
+            )
+        return item
     records: List[Optional[Dict[str, Any]]] = [None] * len(runs)
     errors: List[Optional[Dict[str, Any]]] = [None] * len(runs)
     hits: List[bool] = [False] * len(runs)
     pending: List[RunSpec] = []
     quarantined = 0
+    progress = CampaignProgress(
+        total=len(runs),
+        log=(
+            ProgressLog(
+                os.path.join(store.directory, "progress.jsonl"), spec.name
+            )
+            if store is not None
+            else None
+        ),
+        line=StderrProgress(len(runs)),
+    )
+    progress.campaign_started(jobs=jobs, version=version)
     for run in runs:
         envelope = (
             store.get(run.key) if store is not None and not refresh else None
@@ -327,6 +389,11 @@ def run_campaign(
         if envelope is not None and envelope.get("error") is None:
             records[run.index] = envelope["record"]
             hits[run.index] = True
+            progress.run_finished(
+                run,
+                "cached",
+                sim_events=envelope["record"].get("sim_events", 0),
+            )
             if on_run is not None:
                 on_run(run, True)
         else:
@@ -338,60 +405,88 @@ def run_campaign(
 
     def absorb(run: RunSpec, outcome: Dict[str, Any]) -> None:
         error = outcome.get("error")
+        worker = outcome.get("worker", "main")
+        wall_time_s = outcome.get("wall_time_s", 0.0)
         if error is None:
-            records[run.index] = outcome["record"]
+            record = outcome["record"]
+            # Host-measured timing never enters stored records — it
+            # would break caching, resume diffs and jobs=1 == jobs=N
+            # byte-identity.  It lives in the progress heartbeat.
+            timing = {
+                f: record.pop(f) for f in VOLATILE_TIMING_FIELDS if f in record
+            }
+            records[run.index] = record
             if store is not None:
-                store.put(run.key, _envelope(run, outcome["record"], version))
+                store.put(run.key, _envelope(run, record, version))
+            progress.run_finished(
+                run,
+                "ok",
+                wall_time_s=timing.get("wall_time_s", wall_time_s),
+                sim_events=record.get("sim_events", 0),
+                events_per_second=timing.get("events_per_second", 0.0),
+                worker=worker,
+            )
         else:
             errors[run.index] = error
             if store is not None:
                 store.put(run.key, _failure_envelope(run, error, version))
+            progress.run_finished(
+                run,
+                "failed",
+                wall_time_s=wall_time_s,
+                worker=worker,
+                error_type=error.get("type"),
+            )
         if on_run is not None:
             on_run(run, False)
 
-    if pending:
-        if jobs == 1:
-            for run in pending:
-                if obs is not None:
-                    def shared_obs_run(run: RunSpec = run) -> Dict[str, Any]:
-                        obs.begin_run(run.label)
-                        try:
-                            fn = get_scenario(run.scenario)
-                            result = fn(**run.kwargs, seed=run.seed, obs=obs)
-                            return obs.record(result).summary_record()
-                        finally:
-                            # A raising scenario must not leave its
-                            # label on subsequent runs' trace lines.
-                            obs.end_run()
+    try:
+        if pending:
+            if jobs == 1:
+                for run in pending:
+                    if obs is not None:
+                        def shared_obs_run(run: RunSpec = run) -> Dict[str, Any]:
+                            obs.begin_run(run.label)
+                            try:
+                                fn = get_scenario(run.scenario)
+                                result = fn(**run.kwargs, seed=run.seed, obs=obs)
+                                return obs.record(result).summary_record()
+                            finally:
+                                # A raising scenario must not leave its
+                                # label on subsequent runs' trace lines.
+                                obs.end_run()
 
-                    outcome = guarded_call(
-                        shared_obs_run,
-                        timeout_s=run_timeout_s,
-                        retries=retries,
-                        backoff_s=retry_backoff_s,
-                    )
-                else:
-                    outcome = execute_run_guarded((
-                        (run.scenario, run.kwargs, run.seed,
-                         run.collect_metrics),
-                        run_timeout_s, retries, retry_backoff_s,
-                    ))
-                absorb(run, outcome)
-        else:
-            items: List[_GuardedItem] = [
-                ((run.scenario, run.kwargs, run.seed, run.collect_metrics),
-                 run_timeout_s, retries, retry_backoff_s)
-                for run in pending
-            ]
-            with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
-                # imap preserves submission order, so results land at
-                # their run's index no matter which worker finished
-                # first — this is what makes jobs=N output identical to
-                # jobs=1.
-                for run, outcome in zip(
-                    pending, pool.imap(execute_run_guarded, items, chunksize=1)
-                ):
+                        outcome = guarded_call(
+                            shared_obs_run,
+                            timeout_s=run_timeout_s,
+                            retries=retries,
+                            backoff_s=retry_backoff_s,
+                        )
+                    else:
+                        outcome = execute_run_guarded((
+                            work_item(run),
+                            run_timeout_s, retries, retry_backoff_s,
+                        ))
                     absorb(run, outcome)
+            else:
+                items: List[_GuardedItem] = [
+                    (work_item(run), run_timeout_s, retries, retry_backoff_s)
+                    for run in pending
+                ]
+                with multiprocessing.Pool(
+                    processes=min(jobs, len(items))
+                ) as pool:
+                    # imap preserves submission order, so results land at
+                    # their run's index no matter which worker finished
+                    # first — this is what makes jobs=N output identical
+                    # to jobs=1.
+                    for run, outcome in zip(
+                        pending,
+                        pool.imap(execute_run_guarded, items, chunksize=1),
+                    ):
+                        absorb(run, outcome)
+    finally:
+        progress.campaign_finished()
 
     results = [
         RunResult(

@@ -57,17 +57,25 @@ def run_key(
     params: Mapping[str, Any],
     seed: int,
     metrics: bool = False,
+    timeseries_interval_s: Optional[float] = None,
 ) -> str:
-    """Content hash identifying one run in the result store."""
-    payload = canonical_json(
-        {
-            "scenario": scenario,
-            "params": dict(params),
-            "seed": seed,
-            "metrics": bool(metrics),
-        }
-    )
-    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+    """Content hash identifying one run in the result store.
+
+    The timeseries interval enters the hash only when sampling is on:
+    turning telemetry off must leave every pre-existing key (and
+    therefore every cached result) untouched.
+    """
+    payload: Dict[str, Any] = {
+        "scenario": scenario,
+        "params": dict(params),
+        "seed": seed,
+        "metrics": bool(metrics),
+    }
+    if timeseries_interval_s is not None:
+        payload["timeseries_interval_s"] = float(timeseries_interval_s)
+    return hashlib.sha256(
+        canonical_json(payload).encode("ascii")
+    ).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,10 @@ class RunSpec:
     params: Tuple[Tuple[str, Any], ...]
     seed: int
     collect_metrics: bool = False
+    #: Sampling cadence for in-run timeseries (None = no sampling).
+    #: Part of the hash when set — sampled runs schedule extra kernel
+    #: events, so their records differ from unsampled ones.
+    timeseries_interval_s: Optional[float] = None
     #: Index in the campaign's expansion order (not part of the hash).
     index: int = 0
     #: Human-readable label, e.g. ``sweep-bursts/20000`` (not hashed).
@@ -90,7 +102,11 @@ class RunSpec:
     @property
     def key(self) -> str:
         return run_key(
-            self.scenario, dict(self.params), self.seed, self.collect_metrics
+            self.scenario,
+            dict(self.params),
+            self.seed,
+            self.collect_metrics,
+            self.timeseries_interval_s,
         )
 
 
@@ -120,6 +136,10 @@ class CampaignSpec:
     collect_metrics:
         Collect a per-run :class:`repro.obs.MetricsRegistry` snapshot in
         each worker; the aggregator can merge them per grid point.
+    timeseries_interval_s:
+        When set, every run samples an in-run timeseries at this cadence
+        (simulated seconds); the runner streams each run's samples to
+        ``timeseries/<run key>.jsonl`` in the result store.
     """
 
     name: str
@@ -129,12 +149,18 @@ class CampaignSpec:
     seeds: Sequence[int] = (0,)
     derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
     collect_metrics: bool = False
+    timeseries_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("campaign needs a name")
         if not self.seeds:
             raise ValueError("campaign needs at least one seed")
+        if (
+            self.timeseries_interval_s is not None
+            and self.timeseries_interval_s <= 0
+        ):
+            raise ValueError("timeseries interval must be positive")
         for key, values in self.grid.items():
             if not values:
                 raise ValueError(f"grid axis {key!r} has no values")
@@ -188,6 +214,7 @@ class CampaignSpec:
                         params=frozen,
                         seed=int(seed),
                         collect_metrics=self.collect_metrics,
+                        timeseries_interval_s=self.timeseries_interval_s,
                         index=len(runs),
                         label=self.point_label(params, seed),
                     )
@@ -203,4 +230,5 @@ class CampaignSpec:
             "grid": {k: canonical_params(list(v)) for k, v in self.grid.items()},
             "seeds": [int(s) for s in self.seeds],
             "collect_metrics": self.collect_metrics,
+            "timeseries_interval_s": self.timeseries_interval_s,
         }

@@ -11,6 +11,8 @@ The debugging/measurement substrate every layer emits through:
   (Perfetto-loadable radio tracks) and summary tables;
 - :mod:`repro.obs.profiler` — per-event-kind wall-clock profile of the
   simulation kernel;
+- :mod:`repro.obs.timeseries` — in-run sampling of counters/gauges on a
+  simulated-time cadence, streamed as compact columnar JSONL;
 - :mod:`repro.obs.session` — the CLI-facing bundle of all of the above.
 """
 
@@ -32,6 +34,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import KernelProfiler
 from repro.obs.session import ObsSession
+from repro.obs.timeseries import (
+    TimeseriesRecorder,
+    TimeseriesWriter,
+    read_timeseries,
+)
 
 __all__ = [
     "NULL_BUS",
@@ -50,4 +57,7 @@ __all__ = [
     "StreamingHistogram",
     "KernelProfiler",
     "ObsSession",
+    "TimeseriesRecorder",
+    "TimeseriesWriter",
+    "read_timeseries",
 ]

@@ -80,12 +80,16 @@ class TraceBus:
         Initial enablement; when False, :meth:`emit` is a no-op.
     """
 
-    __slots__ = ("_enabled", "_clock", "_ring", "_subscriptions", "_emitted")
+    __slots__ = ("enabled", "_clock", "_ring", "_subscriptions", "_emitted")
 
     def __init__(self, capacity: int = 65_536, enabled: bool = True) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
-        self._enabled = bool(enabled)
+        #: The hot-path guard: emit only when this is True.  Deliberately
+        #: a plain slot attribute, not a property — instrumented hot
+        #: paths read it once per potential event, and a property would
+        #: put a descriptor call on every one of those reads.
+        self.enabled = bool(enabled)
         self._clock: Callable[[], float] = lambda: 0.0
         self._ring: Optional[deque] = deque(maxlen=capacity) if capacity else None
         self._subscriptions: List[_Subscription] = []
@@ -93,16 +97,11 @@ class TraceBus:
 
     # -- enablement ----------------------------------------------------------
 
-    @property
-    def enabled(self) -> bool:
-        """The hot-path guard: emit only when this is True."""
-        return self._enabled
-
     def enable(self) -> None:
-        self._enabled = True
+        self.enabled = True
 
     def disable(self) -> None:
-        self._enabled = False
+        self.enabled = False
 
     # -- clock binding -------------------------------------------------------
 
@@ -114,7 +113,7 @@ class TraceBus:
 
     def emit(self, layer: str, entity: str, kind: str, **fields: Any) -> None:
         """Publish one event (no-op while disabled)."""
-        if not self._enabled:
+        if not self.enabled:
             return
         event = TraceEvent(self._clock(), layer, entity, kind, fields)
         self._emitted += 1
@@ -185,7 +184,7 @@ class TraceBus:
         return len(self._ring) if self._ring is not None else 0
 
     def __repr__(self) -> str:
-        flag = "on" if self._enabled else "off"
+        flag = "on" if self.enabled else "off"
         return f"<TraceBus {flag} retained={len(self)} emitted={self._emitted}>"
 
 
@@ -197,6 +196,13 @@ class _NullTraceBus(TraceBus):
             "NULL_BUS is shared by every simulator and cannot be enabled; "
             "attach a fresh TraceBus instead (Simulator(trace=TraceBus()))"
         )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # ``enabled`` is a plain attribute on TraceBus, so guard direct
+        # assignment too — the shared bus must stay off for everyone.
+        if name == "enabled" and value:
+            self.enable()
+        super().__setattr__(name, value)
 
 
 #: Shared disabled bus; ``Simulator`` uses it when no trace bus is given,

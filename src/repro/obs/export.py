@@ -68,8 +68,15 @@ class JsonlTraceWriter:
             self._stream.close()
 
 
-#: One scenario run for chrome-trace rendering: (label, duration_s, radios).
+#: One scenario run for chrome-trace rendering:
+#: ``(label, duration_s, radios)`` or, with component tracks,
+#: ``(label, duration_s, radios, component_events)`` where
+#: ``component_events`` is a sequence of bus :class:`TraceEvent`\\ s.
 ChromeRun = Tuple[str, float, Dict[str, Radio]]
+
+#: Layers that get their own instant-event track per run (declaration
+#: order fixes the track order under the radio tracks).
+COMPONENT_LAYERS = ("mac", "link", "net", "transport", "core")
 
 
 def chrome_trace_events(runs: Sequence[ChromeRun]) -> List[dict]:
@@ -79,9 +86,18 @@ def chrome_trace_events(runs: Sequence[ChromeRun]) -> List[dict]:
     whose slices are the radio's state dwells from its ``state_series``
     (transition spans appear as their ``->target`` markers).  Timestamps
     are microseconds, per the trace-event spec.
+
+    A run tuple may carry a fourth element — bus events captured during
+    the run — which adds one *component* track per instrumented layer
+    (``mac``, ``link``, ``net``, ``transport``, ``core``) holding the
+    layer's events as instants, so protocol activity lines up under the
+    radio dwells on a shared timeline.  ``thread_sort_index`` metadata
+    keeps radios on top and components below in declaration order.
     """
     records: List[dict] = []
-    for pid, (label, duration_s, radios) in enumerate(runs, start=1):
+    for pid, run in enumerate(runs, start=1):
+        label, duration_s, radios = run[0], run[1], run[2]
+        component_events = run[3] if len(run) > 3 else ()
         records.append(
             {
                 "ph": "M",
@@ -90,6 +106,7 @@ def chrome_trace_events(runs: Sequence[ChromeRun]) -> List[dict]:
                 "args": {"name": label},
             }
         )
+        tid = 0
         for tid, (radio_name, radio) in enumerate(radios.items(), start=1):
             records.append(
                 {
@@ -98,6 +115,15 @@ def chrome_trace_events(runs: Sequence[ChromeRun]) -> List[dict]:
                     "tid": tid,
                     "name": "thread_name",
                     "args": {"name": radio_name},
+                }
+            )
+            records.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid},
                 }
             )
             points = list(radio.state_series)
@@ -118,6 +144,49 @@ def chrome_trace_events(runs: Sequence[ChromeRun]) -> List[dict]:
                         "name": str(state),
                         "ts": start * 1e6,
                         "dur": (end - start) * 1e6,
+                    }
+                )
+        by_layer: Dict[str, List[TraceEvent]] = {}
+        for event in component_events:
+            if event.layer in COMPONENT_LAYERS:
+                by_layer.setdefault(event.layer, []).append(event)
+        for offset, layer in enumerate(COMPONENT_LAYERS):
+            events = by_layer.get(layer)
+            if not events:
+                continue
+            tid += 1
+            records.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": layer},
+                }
+            )
+            records.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_sort_index",
+                    # Radios keep 1..len(radios); components sort after
+                    # them in COMPONENT_LAYERS order even when some
+                    # layers are silent.
+                    "args": {"sort_index": len(radios) + 1 + offset},
+                }
+            )
+            for event in events:
+                records.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": tid,
+                        "cat": layer,
+                        "name": event.kind,
+                        "ts": event.time_s * 1e6,
+                        "args": {"entity": event.entity, **event.fields},
                     }
                 )
     return records

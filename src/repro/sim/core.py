@@ -96,6 +96,11 @@ class Simulator:
         """
         return self._seq
 
+    @property
+    def queue_depth(self) -> int:
+        """Events currently pending in the queue (instantaneous backlog)."""
+        return len(self._queue)
+
     # -- event factories -------------------------------------------------------
 
     def event(self) -> Event:

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.outcome import VOLATILE_TIMING_FIELDS
 from repro.exp import dumps_strict, get_scenario, scenario_names
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -47,7 +48,12 @@ def test_summary_record_byte_identical_to_golden(payload):
     fn = get_scenario(payload["scenario"])
     for seed_str, expected in payload["records"].items():
         result = fn(**payload["params"], seed=int(seed_str))
-        actual = dumps_strict(result.summary_record())
+        record = {
+            k: v
+            for k, v in result.summary_record().items()
+            if k not in VOLATILE_TIMING_FIELDS
+        }
+        actual = dumps_strict(record)
         assert actual == expected, (
             f"{payload['scenario']} seed {seed_str}: summary_record drifted "
             "from the golden capture"

@@ -191,6 +191,41 @@ class TestMergeMetricSnapshots:
         assert merge_metric_snapshots([]) == {}
         assert merge_metric_snapshots([{}, {"c": 1.0}]) == {"c": 1.0}
 
+    def test_mixed_scalar_and_histogram_instruments_merge_independently(self):
+        # A realistic registry snapshot mixes counters, gauges and
+        # histogram dicts under different names; each kind must merge by
+        # its own rule without bleeding into the others.
+        a = {
+            "trace.mac.beacon": 10.0,
+            "net.cell.ap0.load": 0.4,
+            "phy.state.dwell_s": {
+                "count": 4, "mean": 2.0, "min": 1.0, "max": 3.0, "p90": 2.8,
+            },
+        }
+        b = {
+            "trace.mac.beacon": 5.0,
+            "net.cell.ap0.load": 0.2,
+            "phy.state.dwell_s": {
+                "count": 1, "mean": 10.0, "min": 10.0, "max": 10.0,
+                "p90": 10.0,
+            },
+            "core.grant.bytes": {"count": 2, "mean": 512.0, "min": 256.0,
+                                 "max": 768.0},
+        }
+        merged = merge_metric_snapshots([a, b])
+        assert merged["trace.mac.beacon"] == 15.0
+        # Gauges sum too — the merge has no per-instrument metadata, so
+        # scalar means are the caller's job; what matters is no mangling.
+        assert merged["net.cell.ap0.load"] == pytest.approx(0.6)
+        dwell = merged["phy.state.dwell_s"]
+        assert dwell["count"] == 5
+        assert dwell["mean"] == pytest.approx((4 * 2.0 + 1 * 10.0) / 5)
+        assert (dwell["min"], dwell["max"]) == (1.0, 10.0)
+        assert dwell["p90"] == pytest.approx((4 * 2.8 + 1 * 10.0) / 5)
+        # A histogram present in only one snapshot survives unchanged.
+        grant = merged["core.grant.bytes"]
+        assert grant["count"] == 2 and grant["mean"] == 512.0
+
     def test_only_pN_keys_treated_as_quantiles(self):
         # Regression: a bare startswith("p") match swallowed any field
         # beginning with "p" into the count-weighted quantile average.

@@ -47,12 +47,14 @@ class TestScenarioShape:
         for key in (
             "n_aps", "handoffs", "handoff_suspensions", "handoffs_declined",
             "association_churn", "admission_rejections", "cells",
-            "handoff_timeline", "sim_events",
+            "handoff_timeline",
         ):
             assert key in extras
         assert sorted(extras["cells"]) == ["ap0", "ap1"]
         assert extras["association_churn"] == extras["handoffs"]
-        assert extras["sim_events"] > 0
+        # Kernel workload moved from fleet extras to the base result.
+        assert result.sim_events > 0
+        assert result.summary_record()["sim_events"] == result.sim_events
 
     def test_summary_record_is_json_serialisable(self):
         record = self.run_small().summary_record()

@@ -119,6 +119,35 @@ class TestEnablement:
         with pytest.raises(RuntimeError):
             NULL_BUS.enable()
 
+    def test_null_bus_rejects_direct_attribute_enable(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.enabled = True
+        assert not NULL_BUS.enabled
+
+    def test_enabled_is_a_plain_attribute_not_a_property(self):
+        # The hot-path guard (`if bus.enabled:`) must cost one attribute
+        # read — a property would add a descriptor call to every
+        # potential emit site in the instrumented stack.
+        import inspect
+
+        attr = inspect.getattr_static(TraceBus, "enabled")
+        assert not isinstance(attr, property)
+
+    def test_disabled_emit_does_zero_work(self):
+        bus = TraceBus(enabled=False)
+        calls = []
+        bus.subscribe(calls.append)
+        clock_reads = []
+        bus.bind_clock(lambda: clock_reads.append(1) or 0.0)
+        for _ in range(100):
+            bus.emit("phy", "radio", "state", source="idle", target="doze")
+        # No subscriber ran, no clock read happened, nothing was
+        # retained or counted: the disabled path allocates no event.
+        assert calls == []
+        assert clock_reads == []
+        assert bus.emitted == 0
+        assert len(bus) == 0
+
     def test_default_simulator_uses_disabled_sentinel(self):
         sim = Simulator()
         assert not sim.trace.enabled

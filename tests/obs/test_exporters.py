@@ -74,12 +74,45 @@ class TestChromeTrace:
             for e in events
             if e.get("ph") == "M" and e.get("name") == "thread_name"
         ]
-        assert sorted(thread_names) == sorted(result.radios)
+        # Every radio gets a track, plus component tracks for the
+        # instrumented layers that emitted during the run.
+        assert set(result.radios) <= set(thread_names)
+        components = set(thread_names) - set(result.radios)
+        assert "mac" in components and "core" in components
         slices = [e for e in events if e.get("ph") == "X"]
         assert slices
         for record in slices:
             assert record["dur"] > 0
             assert record["ts"] >= 0
+
+    def test_component_tracks_hold_instants_and_sort_after_radios(
+        self, tmp_path
+    ):
+        _, chrome_path, result = run_traced_scenario(tmp_path)
+        payload = json.loads(chrome_path.read_text())
+        events = payload["traceEvents"]
+        names_by_tid = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        sort_by_tid = {
+            e["tid"]: e["args"]["sort_index"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_sort_index"
+        }
+        radio_tids = {t for t, n in names_by_tid.items() if n in result.radios}
+        component_tids = set(names_by_tid) - radio_tids
+        assert component_tids
+        assert max(sort_by_tid[t] for t in radio_tids) < min(
+            sort_by_tid[t] for t in component_tids
+        )
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert instants
+        for record in instants:
+            assert record["tid"] in component_tids
+            assert record["cat"] == names_by_tid[record["tid"]]
+            assert "entity" in record["args"]
 
     def test_slices_cover_radio_states(self):
         sim = Simulator()
