@@ -253,4 +253,43 @@ print(f"report ok: {summary['bytes']} bytes, self-contained, "
       f"{summary['timeseries']} charts, {len(heartbeats)} heartbeats")
 EOF
 
+echo "== crossval smoke check (sim-vs-model agreement gate) =="
+crossval_dir="$(mktemp -d /tmp/repro-crossval.XXXXXX)"
+surrogate_a="$(mktemp -d /tmp/repro-surrogate-a.XXXXXX)"
+surrogate_b="$(mktemp -d /tmp/repro-surrogate-b.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$bench_dir" "$report_dir" "$crossval_dir" "$surrogate_a" "$surrogate_b"' EXIT
+# Coarse grid, trimmed durations: the closed-form models must agree
+# with the simulator inside the 10% tolerance contract, or the command
+# exits non-zero and fails the gate.
+python -m repro crossval --n-clients 1,2 --offered 128e3,6e6 --listen 1 \
+  --seeds 2 --light-duration 20 --saturated-duration 8 --jobs 2 \
+  --store "$crossval_dir" --json \
+  > "$crossval_dir/crossval.json.out" 2> "$crossval_dir/crossval.err" \
+  || { echo "crossval smoke: tolerance contract violated:"; \
+       cat "$crossval_dir/crossval.err"; exit 1; }
+grep -q "agreement: worst residual" "$crossval_dir/crossval.err" \
+  || { echo "crossval smoke: missing agreement verdict:"; \
+       cat "$crossval_dir/crossval.err"; exit 1; }
+echo "crossval ok: $(grep 'agreement' "$crossval_dir/crossval.err")"
+
+echo "== surrogate determinism smoke check =="
+# Surrogate-refined campaign (3/8 points on the acceptance grid) run
+# serially and through the pool: the refined grid selection and the
+# stored crossval artifact must be byte-identical.
+surrogate_args=(crossval --n-clients 1,2 --offered 128e3,6e6 --listen 1,2
+  --seeds 1 --light-duration 10 --saturated-duration 5
+  --surrogate-fraction 0.35 --json)
+python -m repro "${surrogate_args[@]}" --jobs 1 --store "$surrogate_a" \
+  > "$surrogate_a/out.json" 2> "$surrogate_a/err" || true
+python -m repro "${surrogate_args[@]}" --jobs 2 --store "$surrogate_b" \
+  > "$surrogate_b/out.json" 2> "$surrogate_b/err" || true
+grep -q "surrogate screen: 3/8 grid points dispatched" "$surrogate_a/err" \
+  || { echo "surrogate smoke: expected 3/8 dispatch (<40% budget):"; \
+       cat "$surrogate_a/err"; exit 1; }
+diff "$surrogate_a/crossval.json" "$surrogate_b/crossval.json" \
+  || { echo "surrogate smoke: jobs=1 vs jobs=2 artifacts differ"; exit 1; }
+diff "$surrogate_a/out.json" "$surrogate_b/out.json" \
+  || { echo "surrogate smoke: jobs=1 vs jobs=2 output differs"; exit 1; }
+echo "surrogate ok: 3/8 points dispatched, serial==parallel artifacts"
+
 echo "ci.sh: all checks passed"

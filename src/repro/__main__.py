@@ -7,6 +7,8 @@ Usage::
     python -m repro sweep-schedulers     # ablation A-sched
     python -m repro sweep-bursts         # ablation A-burst
     python -m repro campaign ...         # declarative parameter-grid campaigns
+    python -m repro analytic ...         # closed-form predictors, no simulator
+    python -m repro crossval ...         # sim-vs-model agreement gate
     python -m repro report STORE -o FILE # self-contained HTML dashboard
     python -m repro trace                # run a scenario, summarise its trace
     python -m repro --version
@@ -311,6 +313,22 @@ def _parse_setting(option: str) -> tuple[str, Any]:
     return name, _parse_value(value)
 
 
+def _parse_int_list(text: str) -> List[int]:
+    """Parse ``1,2,4`` into a list of ints."""
+    try:
+        return [int(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected N1,N2,... got {text!r}")
+
+
+def _parse_float_list(text: str) -> List[float]:
+    """Parse ``128e3,6e6`` into a list of floats."""
+    try:
+        return [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected F1,F2,... got {text!r}")
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     grid: Dict[str, List[Any]] = {}
     for option in args.param or []:
@@ -380,6 +398,183 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"({spec.scenario}, {len(spec.seeds)} seed(s))",
         sort_json=True,
     )
+    return 0
+
+
+def _flatten_record(record: Dict[str, Any], prefix: str = "") -> List[List[object]]:
+    """Prediction record as ``field, value`` rows (nested dicts dotted)."""
+    rows: List[List[object]] = []
+    for name, value in record.items():
+        path = f"{prefix}{name}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_record(value, prefix=f"{path}."))
+        else:
+            rows.append([path, value])
+    return rows
+
+
+def cmd_analytic(args: argparse.Namespace) -> int:
+    """List or evaluate the closed-form predictors (no simulator)."""
+    from repro.analytic import PREDICTORS
+    from repro.analytic.models import predict
+
+    if not args.predictor:
+        if args.json:
+            payload = [
+                {
+                    "name": entry.name,
+                    "description": entry.description,
+                    "params": entry.params_type().describe(),
+                }
+                for entry in PREDICTORS.values()
+            ]
+            print(dumps_strict(payload, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            [entry.name, entry.params_type.__name__, entry.description]
+            for entry in PREDICTORS.values()
+        ]
+        print(
+            format_table(
+                ["predictor", "params", "description"],
+                rows,
+                title="Closed-form predictors (repro.analytic)",
+            )
+        )
+        return 0
+    overrides: Dict[str, Any] = {}
+    for option in args.set or []:
+        name, value = _parse_setting(option)
+        overrides[name] = value
+    try:
+        record = predict(args.predictor, overrides)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(dumps_strict(record, indent=2, sort_keys=True))
+        return 0
+    print(
+        format_table(
+            ["field", "value"],
+            _flatten_record(record),
+            title=f"{args.predictor} prediction",
+        )
+    )
+    return 0
+
+
+def cmd_crossval(args: argparse.Namespace) -> int:
+    """Cross-validate the analytic models against the simulator."""
+    import os
+
+    from repro.analytic.crossval import (
+        DEFAULT_TOLERANCE,
+        ToleranceContract,
+        psm_crossval_spec,
+        run_crossval,
+    )
+
+    spec = psm_crossval_spec(
+        name=args.name or "psm-crossval",
+        n_stations=args.n_clients,
+        offered_load_bps=args.offered,
+        listen_interval=args.listen,
+        direction=args.direction,
+        packet_bytes=args.packet_bytes,
+        first_seed=args.seed,
+        n_seeds=args.seeds,
+        light_duration_s=args.light_duration,
+        saturated_duration_s=args.saturated_duration,
+    )
+    contract = (
+        ToleranceContract(
+            relative={
+                "throughput_bps": args.tolerance,
+                "wnic_power_w": args.tolerance,
+            }
+        )
+        if args.tolerance is not None
+        else DEFAULT_TOLERANCE
+    )
+    surrogate_payload: Optional[Dict[str, Any]] = None
+    if args.surrogate_fraction is not None:
+        refinement = spec.refine_with_surrogate(
+            predictor="psm-energy"
+            if args.surrogate_metric == "wnic_power_w"
+            else "psm-throughput",
+            metric=args.surrogate_metric,
+            mode=args.surrogate_mode,
+            target=args.surrogate_target,
+            fraction=args.surrogate_fraction,
+        )
+        surrogate_payload = refinement.as_payload()
+        spec = refinement.spec
+        print(
+            f"surrogate screen: {surrogate_payload['dispatched']}/"
+            f"{surrogate_payload['grid_points']} grid points dispatched "
+            f"({surrogate_payload['dispatch_fraction'] * 100:.0f}%)",
+            file=sys.stderr,
+        )
+    store: Optional[ResultStore] = None
+    if args.store:
+        store = ResultStore(args.store)
+    try:
+        report = run_crossval(
+            spec,
+            contract=contract,
+            store=store,
+            jobs=args.jobs,
+            refresh=args.fresh,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    print(report.campaign.status_line(), file=sys.stderr)
+    _report_failures(report.campaign)
+    payload = report.as_payload()
+    if surrogate_payload is not None:
+        payload["surrogate"] = surrogate_payload
+    if args.store:
+        artifact = os.path.join(args.store, "crossval.json")
+        with open(artifact, "w", encoding="utf-8") as stream:
+            stream.write(dumps_strict(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {artifact}", file=sys.stderr)
+    headers, rows = report.table_rows()
+    _emit_rows(
+        args,
+        headers=headers,
+        rows=rows,
+        json_payload=payload,
+        title=f"Cross-validation {spec.name} "
+        f"({len(spec.seeds)} seed(s), tolerance "
+        f"{contract.relative.get('throughput_bps', 0) * 100:.0f}%)",
+        sort_json=True,
+    )
+    if not report.ok:
+        for point, residual in report.violations():
+            print(
+                f"violation: {point.params} {residual.metric}: "
+                f"model {residual.model:.5g} vs sim {residual.sim:.5g} "
+                f"({residual.rel_err * 100:.2f}% > "
+                f"{(residual.limit or 0) * 100:.0f}%)",
+                file=sys.stderr,
+            )
+        failed_points = [p for p in report.points if p.failed]
+        if failed_points:
+            print(
+                f"{len(failed_points)} grid point(s) had failed simulator "
+                "runs",
+                file=sys.stderr,
+            )
+        return 1
+    worst = report.worst()
+    if worst is not None and worst.limit:
+        print(
+            f"agreement: worst residual {worst.metric} "
+            f"{worst.rel_err * 100:.2f}% (limit {worst.limit * 100:.0f}%)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -700,6 +895,129 @@ def build_parser() -> argparse.ArgumentParser:
         "per run, streamed to timeseries/<run key>.jsonl in the store "
         "(requires --store)",
     )
+    analytic = sub.add_parser(
+        "analytic",
+        parents=[json_flag],
+        help="evaluate the closed-form predictors (no simulator)",
+        description="List the registered closed-form predictors, or "
+        "evaluate one at a parameter point.  Example: repro analytic "
+        "psm-energy --set n_stations=2 --set offered_load_bps=6e6 --json",
+    )
+    analytic.add_argument(
+        "predictor",
+        nargs="?",
+        help="predictor to evaluate (omit to list them all)",
+    )
+    analytic.add_argument(
+        "--set",
+        action="append",
+        metavar="NAME=VALUE",
+        help="model parameter override (repeatable); values parse as JSON",
+    )
+    crossval = sub.add_parser(
+        "crossval",
+        parents=[json_flag, pool],
+        help="cross-validate the analytic models against the simulator",
+        description="Run a PSM parameter grid through both the simulator "
+        "and the closed-form predictors, compare aggregate throughput and "
+        "per-station WNIC power point by point, and fail (exit 1) when "
+        "any relative error exceeds the tolerance contract.  Predictions "
+        "are cached in the --store next to the runs, and --surrogate-"
+        "fraction pre-screens the grid with the model so only the "
+        "interesting points are simulated.  Example: repro crossval "
+        "--n-clients 1,2 --offered 128e3,6e6 --listen 1 --seeds 2 "
+        "--store .campaigns/crossval",
+    )
+    crossval.add_argument(
+        "--n-clients",
+        type=_parse_int_list,
+        default=[1, 2],
+        metavar="N1,N2,...",
+        help="station-count axis (default: 1,2)",
+    )
+    crossval.add_argument(
+        "--offered",
+        type=_parse_float_list,
+        default=[128_000.0, 6_000_000.0],
+        metavar="B1,B2,...",
+        help="per-station offered load axis, bits/s (default: 128e3,6e6)",
+    )
+    crossval.add_argument(
+        "--listen",
+        type=_parse_int_list,
+        default=[1, 2],
+        metavar="L1,L2,...",
+        help="listen-interval axis (default: 1,2)",
+    )
+    crossval.add_argument(
+        "--direction",
+        default="downlink",
+        choices=("downlink", "uplink"),
+        help="traffic direction (default: downlink)",
+    )
+    crossval.add_argument(
+        "--packet-bytes", type=int, default=1000, help="payload per frame"
+    )
+    crossval.add_argument(
+        "--seed", type=int, default=0, help="first seed of the replication set"
+    )
+    crossval.add_argument(
+        "--seeds", type=int, default=2, metavar="N", help="seeds per point"
+    )
+    crossval.add_argument(
+        "--light-duration",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="run length for unsaturated points (Poisson noise ~ 1/sqrt(T))",
+    )
+    crossval.add_argument(
+        "--saturated-duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="run length for saturated points",
+    )
+    crossval.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="max relative error for both metrics (default: the 0.10 contract)",
+    )
+    crossval.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore cached results (recompute and overwrite the store)",
+    )
+    crossval.add_argument("--name", help="campaign name (labels and artifacts)")
+    crossval.add_argument(
+        "--surrogate-fraction",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="pre-screen the grid with the model and simulate only the "
+        "top FRAC of points",
+    )
+    crossval.add_argument(
+        "--surrogate-metric",
+        default="throughput_bps",
+        choices=("throughput_bps", "wnic_power_w"),
+        help="prediction field the surrogate screen scores on",
+    )
+    crossval.add_argument(
+        "--surrogate-mode",
+        default="gradient",
+        choices=("gradient", "target"),
+        help="score by predicted-metric gradient or by target proximity",
+    )
+    crossval.add_argument(
+        "--surrogate-target",
+        type=float,
+        default=None,
+        metavar="VALUE",
+        help="target metric value for --surrogate-mode target",
+    )
     report_parser = sub.add_parser(
         "report",
         parents=[json_flag],
@@ -790,6 +1108,8 @@ _COMMANDS = {
     "sweep-schedulers": cmd_sweep_schedulers,
     "sweep-bursts": cmd_sweep_bursts,
     "campaign": cmd_campaign,
+    "analytic": cmd_analytic,
+    "crossval": cmd_crossval,
     "report": cmd_report,
     "fleet": cmd_fleet,
     "scenarios": cmd_scenarios,

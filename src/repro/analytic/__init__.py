@@ -1,0 +1,103 @@
+"""Closed-form models, sim-vs-model cross-validation, and surrogate
+grid screening.
+
+Three layers on top of the simulator:
+
+* :mod:`repro.analytic.models` — dependency-free predictors for PSM
+  throughput, per-STA energy, wakeup duty cycle and TCP transfer
+  energy, sharing the simulator's timing/power constants.
+* :mod:`repro.analytic.crossval` — runs a campaign grid through both
+  the simulator and the matching predictor and scores the relative
+  error against a tolerance contract.
+* :mod:`repro.analytic.surrogate` — evaluates a model over a coarse
+  grid and refines a :class:`~repro.exp.spec.CampaignSpec` down to the
+  interesting sub-grid before any simulator time is spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.analytic.models import (
+    DutyCyclePrediction,
+    EnergyPrediction,
+    PsmParams,
+    TcpEnergyPrediction,
+    TcpParams,
+    ThroughputPrediction,
+    bianchi_fixed_point,
+    psm_saturation_throughput,
+    psm_station_energy,
+    psm_wakeup_duty_cycle,
+    tcp_station_energy,
+)
+
+__all__ = [
+    "PREDICTORS",
+    "PredictorEntry",
+    "PsmParams",
+    "TcpParams",
+    "ThroughputPrediction",
+    "EnergyPrediction",
+    "DutyCyclePrediction",
+    "TcpEnergyPrediction",
+    "bianchi_fixed_point",
+    "psm_saturation_throughput",
+    "psm_station_energy",
+    "psm_wakeup_duty_cycle",
+    "tcp_station_energy",
+]
+
+
+@dataclass(frozen=True)
+class PredictorEntry:
+    """One named closed-form predictor for the registry/CLI."""
+
+    name: str
+    description: str
+    params_type: type
+    fn: Callable[[Any], Any]
+
+    def evaluate(self, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        return self.fn(self.params_type(**overrides)).as_record()
+
+
+PREDICTORS: Dict[str, PredictorEntry] = {
+    entry.name: entry
+    for entry in (
+        PredictorEntry(
+            name="psm-throughput",
+            description=(
+                "Aggregate PSM goodput: PS-Poll drain capacity (downlink) "
+                "or Bianchi DCF limit (uplink), beacon overhead included"
+            ),
+            params_type=PsmParams,
+            fn=psm_saturation_throughput,
+        ),
+        PredictorEntry(
+            name="psm-energy",
+            description=(
+                "Per-station WNIC average power with idle/sleep/tx/rx/"
+                "transition breakdown"
+            ),
+            params_type=PsmParams,
+            fn=psm_station_energy,
+        ),
+        PredictorEntry(
+            name="psm-duty-cycle",
+            description="Beacon-period wakeup duty cycle of a PSM station",
+            params_type=PsmParams,
+            fn=psm_wakeup_duty_cycle,
+        ),
+        PredictorEntry(
+            name="tcp-energy",
+            description=(
+                "Per-STA power and goodput for a saturated TCP transfer "
+                "in CAM (arXiv:0909.3717)"
+            ),
+            params_type=TcpParams,
+            fn=tcp_station_energy,
+        ),
+    )
+}

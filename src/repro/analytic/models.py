@@ -1,0 +1,742 @@
+"""Closed-form 802.11b PSM throughput and energy predictors.
+
+Independent correctness oracles for the MAC/transport stack, after the
+analytical infrastructure-WLAN models of Agrawal/Kumar et al.
+(arXiv:0909.3717 for per-STA TCP energy, arXiv:1012.4815 for PSM
+saturation throughput).  Every predictor is pure arithmetic over a
+plain parameter dataclass — no simulator, no event loop — so a full
+grid evaluates in microseconds and can pre-screen campaign grids
+(:mod:`repro.analytic.surrogate`) or cross-check simulator output
+(:mod:`repro.analytic.crossval`).
+
+The constants are shared with the simulator, not copied: MAC timing
+comes from :class:`repro.mac.frames.Dot11Timing` and radio power from
+:func:`repro.metrics.energy.wlan_cf_constants`, which reads the same
+:class:`~repro.phy.radio.RadioPowerModel` the simulator charges.
+
+Modelled protocol, mirroring :mod:`repro.mac.psm` / :mod:`repro.mac.dcf`:
+
+* Downlink PSM drain: the AP buffers for dozing stations and announces
+  them in per-beacon TIMs; a station wakes ``wake_guard_s`` before its
+  listen-interval TBTT, receives the beacon, then retrieves one frame
+  per PS-Poll until ``more_data`` clears.  One retrieval occupies
+
+  ``T_x = (DIFS + E[BO] + T_poll) + (DIFS + E[BO] + T_data) + (SIFS + T_ack)``
+
+  with ``E[BO] = cw_min/2`` slots (the AP and a lone poller never
+  double their window).
+* Uplink CAM: plain DCF stations, Bianchi's saturation fixed point
+  (tau/p) with the repo's ``cw_min=31``, five doublings to ``cw_max``.
+* Beacons contend for the same medium; their share
+  ``(DIFS + E[BO] + T_beacon(tim)) / T_beacon_interval`` is removed
+  from usable capacity.
+* Energy integrates the same accounting the radio performs: base state
+  power, ``(tx-idle)``/``(rx-idle)`` deltas for airtime actually
+  transmitted/heard, and the exact doze<->idle transition impulses.
+  The medium delivers unicast frames to their destination only, so a
+  station is rx-charged for its *own* frames plus broadcast beacons —
+  there is no overhearing of other stations' exchanges.
+* PS-Poll stall at saturation: a station whose poll collides waits out
+  ``poll_data_timeout`` (50 ms) before re-polling.  With exactly two
+  saturated stations the colliding polls stall *both*, idling the
+  medium; :data:`PS_POLL_STALL_COUPLING` calibrates how often the two
+  re-polls actually contend in the same backoff window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.mac.frames import Dot11Timing
+from repro.metrics.energy import RadioPowerConstants, wlan_cf_constants
+
+__all__ = [
+    "PsmParams",
+    "TcpParams",
+    "ThroughputPrediction",
+    "EnergyPrediction",
+    "DutyCyclePrediction",
+    "TcpEnergyPrediction",
+    "psm_saturation_throughput",
+    "psm_station_energy",
+    "psm_wakeup_duty_cycle",
+    "tcp_station_energy",
+    "bianchi_fixed_point",
+]
+
+#: Beacon body bytes before TIM entries (mirrors ``repro.mac.psm``).
+BEACON_BASE_BYTES = 50
+
+#: Default PSM wake guard (mirrors ``PsmConfig.wake_guard_s``).
+DEFAULT_WAKE_GUARD_S = 0.004
+
+#: Default poll-data timeout (mirrors ``PsmConfig.poll_data_timeout_s``).
+DEFAULT_POLL_TIMEOUT_S = 0.050
+
+#: How often, per completed drain round at two-station saturation, the
+#: two stations' re-polls end up contending in the same backoff window
+#: (and so collide with probability ``1/(cw_min+1)``, stalling both for
+#: the poll-data timeout).  Calibrated once against the simulator at
+#: n=2, 1000-byte frames, 11 Mb/s; the cross-validation suite re-checks
+#: the agreement on every run.
+PS_POLL_STALL_COUPLING = 0.33
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+
+
+@dataclass(frozen=True)
+class PsmParams:
+    """Shared sim/model parameter space for the PSM scenarios.
+
+    Field names deliberately match the ``psm-crossval`` scenario's
+    parameters so a campaign grid point maps onto a model evaluation
+    without translation (see DESIGN.md for the symbol table).
+    """
+
+    #: Number of stations contending under one AP.
+    n_stations: int = 1
+    #: Application payload per MAC data frame, bytes.
+    packet_bytes: int = 1000
+    #: PHY data rate for data frames (controls/beacons go at basic rate).
+    rate_bps: float = 11_000_000.0
+    #: Offered load *per station*, application bits per second.
+    offered_load_bps: float = 128_000.0
+    #: Wake every n-th beacon.
+    listen_interval: int = 1
+    #: Observation window (finite-run corrections need it).
+    duration_s: float = 10.0
+    #: "downlink" = PSM drain via PS-Polls; "uplink" = CAM DCF to the AP.
+    direction: str = "downlink"
+    #: How much before the target TBTT the radio starts waking.
+    wake_guard_s: float = DEFAULT_WAKE_GUARD_S
+    #: How long a station waits for polled data before re-polling.
+    poll_timeout_s: float = DEFAULT_POLL_TIMEOUT_S
+    timing: Dot11Timing = field(default_factory=Dot11Timing)
+    power: RadioPowerConstants = field(default_factory=wlan_cf_constants)
+
+    def __post_init__(self) -> None:
+        if self.n_stations < 1:
+            raise ValueError("n_stations must be >= 1")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.offered_load_bps < 0:
+            raise ValueError("offered_load_bps must be >= 0")
+        if self.listen_interval < 1:
+            raise ValueError("listen_interval must be >= 1")
+        if self.direction not in ("downlink", "uplink"):
+            raise ValueError(f"unknown direction: {self.direction!r}")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "n_stations": self.n_stations,
+            "packet_bytes": self.packet_bytes,
+            "rate_bps": self.rate_bps,
+            "offered_load_bps": self.offered_load_bps,
+            "listen_interval": self.listen_interval,
+            "duration_s": self.duration_s,
+            "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Per-STA TCP transfer over infrastructure WLAN (arXiv:0909.3717).
+
+    A station moving one long TCP flow in CAM: every ``delayed_ack_ratio``
+    data segments trigger one 40-byte TCP ACK crossing the air in the
+    opposite direction.
+    """
+
+    n_stations: int = 1
+    #: TCP maximum segment size on the air, bytes.
+    segment_bytes: int = 1460
+    rate_bps: float = 11_000_000.0
+    #: Data segments per TCP ACK (2 = delayed ACKs).
+    delayed_ack_ratio: int = 2
+    #: "uplink" = station transmits segments; "downlink" = it receives.
+    direction: str = "uplink"
+    timing: Dot11Timing = field(default_factory=Dot11Timing)
+    power: RadioPowerConstants = field(default_factory=wlan_cf_constants)
+
+    def __post_init__(self) -> None:
+        if self.n_stations < 1:
+            raise ValueError("n_stations must be >= 1")
+        if self.segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if self.delayed_ack_ratio < 1:
+            raise ValueError("delayed_ack_ratio must be >= 1")
+        if self.direction not in ("downlink", "uplink"):
+            raise ValueError(f"unknown direction: {self.direction!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "n_stations": self.n_stations,
+            "segment_bytes": self.segment_bytes,
+            "rate_bps": self.rate_bps,
+            "delayed_ack_ratio": self.delayed_ack_ratio,
+            "direction": self.direction,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Prediction records
+
+
+@dataclass(frozen=True)
+class ThroughputPrediction:
+    """Aggregate goodput prediction for one PSM/CAM parameter point."""
+
+    predictor: str
+    #: Delivered application bits/s, aggregate over stations.
+    throughput_bps: float
+    #: Saturation ceiling at this point (beacon overhead included).
+    capacity_bps: float
+    saturated: bool
+    #: Medium share spent on beacons.
+    beacon_overhead_frac: float
+    #: Medium time of one complete data exchange.
+    exchange_time_s: float
+    params: Dict[str, Any]
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "predictor": self.predictor,
+            "throughput_bps": self.throughput_bps,
+            "capacity_bps": self.capacity_bps,
+            "saturated": self.saturated,
+            "beacon_overhead_frac": self.beacon_overhead_frac,
+            "exchange_time_s": self.exchange_time_s,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class EnergyPrediction:
+    """Per-station WNIC energy prediction."""
+
+    predictor: str
+    #: Average WNIC power over the run, per station.
+    wnic_power_w: float
+    #: Total WNIC energy over ``duration_s``, per station.
+    energy_j: float
+    #: Fraction of the run the radio is out of the doze state.
+    duty_cycle: float
+    saturated: bool
+    #: Additive decomposition of ``wnic_power_w`` (watts): base state
+    #: dwell, tx/rx deltas over the base, and transition impulses.
+    breakdown_w: Dict[str, float]
+    params: Dict[str, Any]
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "predictor": self.predictor,
+            "wnic_power_w": self.wnic_power_w,
+            "energy_j": self.energy_j,
+            "duty_cycle": self.duty_cycle,
+            "saturated": self.saturated,
+            "breakdown_w": dict(self.breakdown_w),
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class DutyCyclePrediction:
+    """Beacon-period wakeup duty cycle of a PSM station."""
+
+    predictor: str
+    #: Awake fraction of one listen-interval cycle in steady state.
+    duty_cycle: float
+    awake_s_per_cycle: float
+    cycle_s: float
+    wakeups_per_s: float
+    saturated: bool
+    params: Dict[str, Any]
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "predictor": self.predictor,
+            "duty_cycle": self.duty_cycle,
+            "awake_s_per_cycle": self.awake_s_per_cycle,
+            "cycle_s": self.cycle_s,
+            "wakeups_per_s": self.wakeups_per_s,
+            "saturated": self.saturated,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class TcpEnergyPrediction:
+    """Per-STA power and goodput for a saturated TCP transfer in CAM."""
+
+    predictor: str
+    wnic_power_w: float
+    #: Application goodput of the flow, bits/s.
+    throughput_bps: float
+    #: Fraction of time the station's radio transmits / receives.
+    tx_utilisation: float
+    rx_utilisation: float
+    breakdown_w: Dict[str, float]
+    params: Dict[str, Any]
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "predictor": self.predictor,
+            "wnic_power_w": self.wnic_power_w,
+            "throughput_bps": self.throughput_bps,
+            "tx_utilisation": self.tx_utilisation,
+            "rx_utilisation": self.rx_utilisation,
+            "breakdown_w": dict(self.breakdown_w),
+            "params": dict(self.params),
+        }
+
+
+# ---------------------------------------------------------------------------
+# MAC timing helpers
+
+
+def expected_backoff_s(timing: Dot11Timing) -> float:
+    """Mean initial backoff: uniform over ``[0, cw_min]`` slots."""
+    return timing.cw_min / 2.0 * timing.slot_s
+
+
+def poll_airtime_s(timing: Dot11Timing) -> float:
+    """PS-Poll airtime at the basic rate."""
+    return timing.plcp_overhead_s + timing.ps_poll_bytes * 8.0 / timing.basic_rate_bps
+
+
+def beacon_airtime_s(timing: Dot11Timing, tim_entries: float = 0.0) -> float:
+    """Beacon airtime: base body plus one byte per TIM entry."""
+    return timing.data_airtime_s(0, timing.basic_rate_bps) + (
+        (BEACON_BASE_BYTES + tim_entries) * 8.0 / timing.basic_rate_bps
+    )
+
+
+def beacon_overhead_frac(timing: Dot11Timing, tim_entries: float = 0.0) -> float:
+    """Medium share one beacon per interval consumes, contention included."""
+    access = timing.difs_s + expected_backoff_s(timing)
+    return (access + beacon_airtime_s(timing, tim_entries)) / timing.beacon_interval_s
+
+
+def psm_exchange_time_s(params: PsmParams) -> float:
+    """Medium time of one PS-Poll retrieval (poll + data + ACK)."""
+    t = params.timing
+    access = t.difs_s + expected_backoff_s(t)
+    return (
+        (access + poll_airtime_s(t))
+        + (access + t.data_airtime_s(params.packet_bytes, params.rate_bps))
+        + (t.sifs_s + t.ack_airtime_s())
+    )
+
+
+def bianchi_fixed_point(
+    n: int, cw_min: int, cw_max: int
+) -> tuple[float, float]:
+    """Bianchi's (tau, p) saturation fixed point for ``n`` stations.
+
+    ``tau`` is the per-slot transmission probability, ``p`` the
+    conditional collision probability.  Solved by bisection on ``p``
+    (the composed map is monotone), exact for ``n == 1``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    w = cw_min + 1
+    stages = max(0, int(round(math.log2((cw_max + 1) / w))))
+
+    def tau_of(p: float) -> float:
+        if stages == 0:
+            return 2.0 / (w + 1)
+        num = 2.0 * (1.0 - 2.0 * p)
+        den = (1.0 - 2.0 * p) * (w + 1) + p * w * (1.0 - (2.0 * p) ** stages)
+        return num / den
+
+    if n == 1:
+        return tau_of(0.0), 0.0
+
+    lo, hi = 0.0, 0.9999
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        # p consistent with tau(mid): collision seen iff any other txs.
+        implied = 1.0 - (1.0 - tau_of(mid)) ** (n - 1)
+        if implied > mid:
+            lo = mid
+        else:
+            hi = mid
+    p = (lo + hi) / 2.0
+    return tau_of(p), p
+
+
+def dcf_saturation_throughput_bps(params: PsmParams) -> float:
+    """Bianchi aggregate saturation goodput for uplink CAM stations."""
+    t = params.timing
+    n = params.n_stations
+    tau, _ = bianchi_fixed_point(n, t.cw_min, t.cw_max)
+    data_air = t.data_airtime_s(params.packet_bytes, params.rate_bps)
+    # Successful exchange / collision slot durations (anchored on DIFS).
+    t_success = data_air + t.sifs_s + t.ack_airtime_s() + t.difs_s
+    t_collision = data_air + t.ack_timeout_s() + t.difs_s
+    p_tr = 1.0 - (1.0 - tau) ** n
+    p_s = n * tau * (1.0 - tau) ** (n - 1) / p_tr if p_tr > 0 else 0.0
+    expected_slot = (
+        (1.0 - p_tr) * t.slot_s
+        + p_tr * p_s * t_success
+        + p_tr * (1.0 - p_s) * t_collision
+    )
+    payload_bits = params.packet_bytes * 8.0
+    raw = p_tr * p_s * payload_bits / expected_slot
+    return raw * (1.0 - beacon_overhead_frac(t, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Predictors
+
+
+def psm_saturation_throughput(params: PsmParams) -> ThroughputPrediction:
+    """Aggregate goodput: ``min(offered, capacity)`` with run-in losses.
+
+    Downlink capacity serialises one PS-Poll retrieval per frame behind
+    the per-interval beacon; uplink capacity is Bianchi's DCF limit.
+    Finite runs lose the initial doze (downlink wakes at the first
+    listen-interval TBTT) and, unsaturated, the undrained tail backlog.
+    """
+    t = params.timing
+    n = params.n_stations
+    exchange = psm_exchange_time_s(params)
+    offered_aggregate = n * params.offered_load_bps
+    if params.direction == "downlink":
+        # Under saturation every station has buffered frames: TIM = n.
+        overhead = beacon_overhead_frac(t, float(n))
+        capacity = params.packet_bytes * 8.0 * (1.0 - overhead) / exchange
+        if n == 2:
+            # Poll-poll collisions stall *both* stations for the poll
+            # timeout, idling the medium (with three or more stations
+            # the survivors keep draining, so no aggregate loss).
+            frame_rate = capacity / (params.packet_bytes * 8.0)
+            stall = (
+                PS_POLL_STALL_COUPLING
+                * frame_rate
+                * params.poll_timeout_s
+                / (n * (t.cw_min + 1))
+            )
+            capacity /= 1.0 + stall
+    else:
+        overhead = beacon_overhead_frac(t, 0.0)
+        capacity = dcf_saturation_throughput_bps(params)
+    saturated = offered_aggregate >= capacity
+    cycle = params.listen_interval * t.beacon_interval_s
+    duration = params.duration_s
+    if saturated:
+        throughput = capacity
+        if params.direction == "downlink":
+            # Nothing drains before the first caught beacon.
+            throughput *= max(0.0, duration - cycle) / duration
+    else:
+        throughput = offered_aggregate
+        if params.direction == "downlink":
+            # Frames from the tail of the run are still buffered at the
+            # end: on average half a listen interval of arrivals.
+            throughput *= max(0.0, duration - cycle / 2.0) / duration
+    return ThroughputPrediction(
+        predictor="psm-throughput",
+        throughput_bps=throughput,
+        capacity_bps=capacity,
+        saturated=saturated,
+        beacon_overhead_frac=overhead,
+        exchange_time_s=exchange,
+        params=params.describe(),
+    )
+
+
+def _downlink_cycle_awake_s(params: PsmParams, frames_per_cycle: float) -> Dict[str, float]:
+    """Awake-time components of one unsaturated listen-interval cycle.
+
+    Returns seconds per cycle: ``wake`` / ``sleep`` transition
+    latencies, ``idle_guard`` (radio up before the TBTT), ``beacon``
+    (contention + beacon airtime), ``drain`` (own retrievals),
+    ``overheard`` (waiting while other stations' interleaved retrievals
+    hold the medium — the station stays up until its *last* frame
+    drains, at expected position ``m(nm+1)/(m+1)`` of the ``nm``
+    randomly interleaved exchanges), ``stall`` (poll collisions burning
+    the poll-data timeout awake), and ``slack`` (the MAC-quiescence
+    poll granularity).
+    """
+    t = params.timing
+    p = params.power
+    n = params.n_stations
+    m = frames_per_cycle
+    exchange = psm_exchange_time_s(params)
+    # Probability a station has something buffered at its TBTT.
+    q = 1.0 - math.exp(-m) if m > 0 else 0.0
+    # Expected exchanges until this station's last frame completes.
+    until_done = m * (n * m + 1.0) / (m + 1.0) if m > 0 else 0.0
+    stall = 0.0
+    if n >= 2 and m > 0:
+        # First polls after a shared beacon collide when both stations
+        # draw the same backoff slot; during the drain, re-polls couple
+        # as at saturation.  Either way the poller idles out the full
+        # poll-data timeout before retrying.
+        collisions = (q * q + PS_POLL_STALL_COUPLING * n * m) / (t.cw_min + 1)
+        stall = collisions * params.poll_timeout_s
+    return {
+        "wake": p.wake_latency_s,
+        "idle_guard": max(0.0, params.wake_guard_s - p.wake_latency_s),
+        "beacon": t.difs_s + expected_backoff_s(t) + beacon_airtime_s(t, n * q),
+        "drain": m * exchange,
+        "overheard": (until_done - m) * exchange,
+        "stall": stall,
+        "slack": t.slot_s,
+        "sleep": p.sleep_latency_s,
+    }
+
+
+def psm_station_energy(params: PsmParams) -> EnergyPrediction:
+    """Per-station WNIC average power with a state/delta breakdown.
+
+    Mirrors the simulator's charging rules: base state power while
+    dwelling, ``tx-idle`` / ``rx-idle`` deltas for airtime transmitted
+    or heard while awake (dozing radios hear nothing), and the exact
+    doze<->idle transition impulse energies.
+    """
+    t = params.timing
+    p = params.power
+    n = params.n_stations
+    duration = params.duration_s
+    throughput = psm_saturation_throughput(params)
+    poll_air = poll_airtime_s(t)
+    ack_air = t.ack_airtime_s()
+    data_air = t.data_airtime_s(params.packet_bytes, params.rate_bps)
+
+    if params.direction == "uplink":
+        # CAM DCF station: always awake, idle base.
+        tau, _ = bianchi_fixed_point(n, t.cw_min, t.cw_max)
+        per_station_bps = throughput.throughput_bps / n
+        frame_rate = per_station_bps / (params.packet_bytes * 8.0)
+        if throughput.saturated:
+            # Attempt rate exceeds the success rate by the collisions.
+            success_prob = (1.0 - tau) ** (n - 1)
+            attempt_rate = frame_rate / success_prob if success_prob > 0 else 0.0
+        else:
+            attempt_rate = frame_rate
+        u_tx = attempt_rate * data_air
+        # Unicast goes to its destination only: the station hears the
+        # MAC ACKs addressed to it plus the broadcast beacons.
+        heard_s = (
+            frame_rate * ack_air
+            + beacon_airtime_s(t, 0.0) / t.beacon_interval_s
+        )
+        breakdown = {
+            "idle": p.idle_w,
+            "sleep": 0.0,
+            "tx_delta": (p.tx_w - p.idle_w) * u_tx,
+            "rx_delta": max(p.rx_w - p.idle_w, 0.0) * heard_s,
+            "transitions": 0.0,
+        }
+        power = sum(breakdown.values())
+        return EnergyPrediction(
+            predictor="psm-energy",
+            wnic_power_w=power,
+            energy_j=power * duration,
+            duty_cycle=1.0,
+            saturated=throughput.saturated,
+            breakdown_w=breakdown,
+            params=params.describe(),
+        )
+
+    cycle = params.listen_interval * t.beacon_interval_s
+    if throughput.saturated:
+        # After the first caught beacon the drain never ends: the
+        # station stays awake for the rest of the run.
+        wake_at = max(0.0, cycle - params.wake_guard_s)
+        doze_s = max(0.0, wake_at - p.sleep_latency_s)
+        awake_s = max(0.0, duration - wake_at - p.wake_latency_s)
+        frame_rate = throughput.capacity_bps / (params.packet_bytes * 8.0)
+        own_rate = frame_rate / n
+        u_tx = own_rate * (poll_air + ack_air)
+        # Heard: the station's own downlink data plus broadcast beacons
+        # (unicast to other stations is never delivered to this one).
+        heard_s = (
+            own_rate * data_air
+            + beacon_airtime_s(t, float(n)) / t.beacon_interval_s
+        )
+        energy = (
+            p.sleep_energy_j
+            + p.sleep_w * doze_s
+            + p.wake_energy_j
+            + (
+                p.idle_w
+                + (p.tx_w - p.idle_w) * u_tx
+                + max(p.rx_w - p.idle_w, 0.0) * heard_s
+            )
+            * awake_s
+        )
+        breakdown = {
+            "idle": p.idle_w * awake_s / duration,
+            "sleep": p.sleep_w * doze_s / duration,
+            "tx_delta": (p.tx_w - p.idle_w) * u_tx * awake_s / duration,
+            "rx_delta": max(p.rx_w - p.idle_w, 0.0) * heard_s * awake_s / duration,
+            "transitions": (p.sleep_energy_j + p.wake_energy_j) / duration,
+        }
+        return EnergyPrediction(
+            predictor="psm-energy",
+            wnic_power_w=energy / duration,
+            energy_j=energy,
+            duty_cycle=(awake_s + p.wake_latency_s) / duration,
+            saturated=True,
+            breakdown_w=breakdown,
+            params=params.describe(),
+        )
+
+    # Unsaturated: periodic wake/drain/doze cycles.
+    arrival_rate = params.offered_load_bps / (params.packet_bytes * 8.0)
+    m = arrival_rate * cycle
+    parts = _downlink_cycle_awake_s(params, m)
+    awake = sum(parts.values()) - parts["sleep"]
+    awake = min(awake, cycle - parts["sleep"])
+    doze_s = max(0.0, cycle - awake - parts["sleep"])
+    # Airtime transmitted / heard per cycle while awake.
+    u_tx_s = m * (poll_air + ack_air)
+    q = 1.0 - math.exp(-m) if m > 0 else 0.0
+    # Per-cycle heard airtime: one beacon plus the station's own data
+    # (other stations' drains extend the awake window but are unicast
+    # elsewhere, so they cost idle time, not rx deltas).
+    heard_s = beacon_airtime_s(t, n * q) + m * data_air
+    idle_s = awake - parts["wake"] - u_tx_s
+    energy_cycle = (
+        p.wake_energy_j
+        + p.sleep_energy_j
+        + p.idle_w * max(0.0, idle_s)
+        + p.tx_w * u_tx_s
+        + max(p.rx_w - p.idle_w, 0.0) * heard_s
+        + p.sleep_w * doze_s
+    )
+    power = energy_cycle / cycle
+    breakdown = {
+        "idle": p.idle_w * max(0.0, idle_s) / cycle,
+        "sleep": p.sleep_w * doze_s / cycle,
+        "tx_delta": (p.tx_w - p.idle_w) * u_tx_s / cycle,
+        "rx_delta": max(p.rx_w - p.idle_w, 0.0) * heard_s / cycle,
+        "transitions": (p.wake_energy_j + p.sleep_energy_j) / cycle,
+    }
+    # "tx_delta" above is the extra over idle; the idle component keeps
+    # the full awake window so the parts sum to the total.
+    breakdown["idle"] += p.idle_w * u_tx_s / cycle
+    return EnergyPrediction(
+        predictor="psm-energy",
+        wnic_power_w=power,
+        energy_j=power * duration,
+        duty_cycle=awake / cycle,
+        saturated=False,
+        breakdown_w=breakdown,
+        params=params.describe(),
+    )
+
+
+def psm_wakeup_duty_cycle(params: PsmParams) -> DutyCyclePrediction:
+    """Steady-state awake fraction of the listen-interval cycle."""
+    t = params.timing
+    cycle = params.listen_interval * t.beacon_interval_s
+    if params.direction == "uplink":
+        return DutyCyclePrediction(
+            predictor="psm-duty-cycle",
+            duty_cycle=1.0,
+            awake_s_per_cycle=cycle,
+            cycle_s=cycle,
+            wakeups_per_s=0.0,
+            saturated=True,
+            params=params.describe(),
+        )
+    throughput = psm_saturation_throughput(params)
+    if throughput.saturated:
+        return DutyCyclePrediction(
+            predictor="psm-duty-cycle",
+            duty_cycle=1.0,
+            awake_s_per_cycle=cycle,
+            cycle_s=cycle,
+            wakeups_per_s=0.0,
+            saturated=True,
+            params=params.describe(),
+        )
+    arrival_rate = params.offered_load_bps / (params.packet_bytes * 8.0)
+    parts = _downlink_cycle_awake_s(params, arrival_rate * cycle)
+    awake = min(sum(parts.values()), cycle)
+    return DutyCyclePrediction(
+        predictor="psm-duty-cycle",
+        duty_cycle=awake / cycle,
+        awake_s_per_cycle=awake,
+        cycle_s=cycle,
+        wakeups_per_s=1.0 / cycle,
+        saturated=False,
+        params=params.describe(),
+    )
+
+
+def tcp_station_energy(params: TcpParams) -> TcpEnergyPrediction:
+    """Per-STA power for a saturated TCP flow in CAM (arXiv:0909.3717).
+
+    One MAC exchange per data segment plus one per ``delayed_ack_ratio``
+    segments for the 40-byte TCP ACK travelling the other way.  The
+    station is never allowed to doze (CAM), so the base draw is idle
+    power and traffic only adds tx/rx deltas.
+    """
+    t = params.timing
+    p = params.power
+    access = t.difs_s + expected_backoff_s(t)
+    data_air = t.data_airtime_s(params.segment_bytes, params.rate_bps)
+    tcp_ack_air = t.data_airtime_s(40, params.rate_bps)
+    mac_ack = t.sifs_s + t.ack_airtime_s()
+    ratio = 1.0 / params.delayed_ack_ratio
+    # Time to move one segment plus its share of the reverse TCP ACK.
+    cycle = (access + data_air + mac_ack) + ratio * (access + tcp_ack_air + mac_ack)
+    throughput = params.segment_bytes * 8.0 / cycle
+    throughput *= 1.0 - beacon_overhead_frac(t, 0.0)
+    segment_rate = throughput / (params.segment_bytes * 8.0)
+    if params.direction == "uplink":
+        tx_air = data_air + ratio * t.ack_airtime_s()
+        rx_air = ratio * tcp_ack_air + t.ack_airtime_s()
+    else:
+        tx_air = ratio * tcp_ack_air + t.ack_airtime_s()
+        rx_air = data_air + ratio * t.ack_airtime_s()
+    u_tx = segment_rate * tx_air
+    u_rx = segment_rate * rx_air + beacon_airtime_s(t, 0.0) / t.beacon_interval_s
+    breakdown = {
+        "idle": p.idle_w,
+        "tx_delta": (p.tx_w - p.idle_w) * u_tx,
+        "rx_delta": max(p.rx_w - p.idle_w, 0.0) * u_rx,
+    }
+    power = sum(breakdown.values())
+    return TcpEnergyPrediction(
+        predictor="tcp-energy",
+        wnic_power_w=power,
+        throughput_bps=throughput,
+        tx_utilisation=u_tx,
+        rx_utilisation=u_rx,
+        breakdown_w=breakdown,
+        params=params.describe(),
+    )
+
+
+def with_tx_power(params: PsmParams, tx_w: float) -> PsmParams:
+    """A copy of ``params`` with a different transmit draw (for
+    sensitivity checks: predicted energy must be monotone in it)."""
+    return replace(params, power=replace(params.power, tx_w=tx_w))
+
+
+def predict(predictor: str, overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Evaluate a named predictor with keyword overrides; returns the
+    prediction record (the CLI entry point)."""
+    from repro.analytic import PREDICTORS
+
+    try:
+        entry = PREDICTORS[predictor]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {predictor!r}; "
+            f"known: {', '.join(sorted(PREDICTORS))}"
+        ) from None
+    params = entry.params_type(**(overrides or {}))
+    return entry.fn(params).as_record()

@@ -451,14 +451,35 @@ class _PsmMode(_DeliveryMode):
     frames with the beacon/TIM/PS-Poll machinery."""
 
     def assemble(self, world: World) -> None:
-        from repro.mac import AccessPoint, Medium, PsmStation
+        from repro.mac import AccessPoint, DcfStation, Medium, PsmConfig, PsmStation
 
         sim = world.sim
+        extras = world.spec.extras
+        # The psm-crossval preset parameterises the PSM stack through
+        # spec extras; their absence keeps the historical assembly (and
+        # its byte-identical goldens) untouched.
+        listen_interval = int(extras.get("psm_listen_interval") or 0)
+        uplink = extras.get("psm_direction") == "uplink"
+        psm = PsmConfig(listen_interval=listen_interval) if listen_interval else None
         world.medium = Medium(sim)
-        world.access_point = AccessPoint(
-            sim, world.medium, "ap", rng=world.streams.stream("ap")
-        )
         world.byte_counts = [0] * len(world.spec.clients)
+        ap_receive = None
+        if uplink:
+            index_of = {n.name: i for i, n in enumerate(world.spec.clients)}
+
+            def ap_receive(frame):
+                i = index_of.get(frame.source)
+                if i is not None:
+                    world.byte_counts[i] += frame.payload_bytes
+                    world.playouts[i].deliver(sim.now, frame.payload_bytes)
+
+        world.access_point = AccessPoint(
+            sim,
+            world.medium,
+            "ap",
+            rng=world.streams.stream("ap"),
+            on_receive=ap_receive,
+        )
         for index, node in enumerate(world.spec.clients):
             radio = Radio(sim, wlan_cf_card(), name=f"{node.name}/wlan")
             playout = PlayoutBuffer(
@@ -467,6 +488,24 @@ class _PsmMode(_DeliveryMode):
             )
             world.playouts.append(playout)
             world.radios[radio.name] = radio
+
+            if uplink:
+                # CAM sender: a plain DCF station pushing to the AP,
+                # radio pinned awake (idle/tx) for the whole run.
+                station = DcfStation(
+                    sim,
+                    world.medium,
+                    node.name,
+                    rng=world.streams.stream(node.name),
+                    radio=radio,
+                )
+                world.stations.append(station)
+
+                def to_station(nbytes: int, kind: str, st=station):
+                    st.send("ap", nbytes)
+
+                start_traffic(world, node, to_station)
+                continue
 
             def on_receive(frame, p=playout, i=index):
                 p.deliver(sim.now, frame.payload_bytes)
@@ -479,6 +518,7 @@ class _PsmMode(_DeliveryMode):
                 world.access_point,
                 radio,
                 rng=world.streams.stream(node.name),
+                psm=psm,
                 on_receive=on_receive,
             )
             world.stations.append(station)
@@ -506,7 +546,7 @@ class _PsmMode(_DeliveryMode):
                         elapsed_s=duration,
                     ),
                     wnic_average_power_w=radio.average_power_w(),
-                    bursts=world.stations[index].polls_sent,
+                    bursts=getattr(world.stations[index], "polls_sent", 0),
                     bytes_received=world.byte_counts[index],
                 )
             )

@@ -233,6 +233,61 @@ def psm_baseline_world(
     )
 
 
+def psm_crossval_world(
+    n_clients: int = 1,
+    duration_s: float = 10.0,
+    offered_load_bps: float = 128_000.0,
+    packet_bytes: int = 1000,
+    listen_interval: int = 1,
+    direction: str = "downlink",
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """Analytic cross-validation workload on the packet-level MAC.
+
+    Fixed-size Poisson frames at a controllable offered load, so every
+    knob maps one-to-one onto :class:`repro.analytic.models.PsmParams`:
+    push ``offered_load_bps`` past the drain capacity and the run
+    saturates.  ``direction="downlink"`` drains AP-buffered frames via
+    PSM; ``"uplink"`` sends from always-on CAM stations to the AP.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if packet_bytes <= 0:
+        raise ValueError("packet_bytes must be positive")
+    if listen_interval < 1:
+        raise ValueError("listen interval must be >= 1")
+    if direction not in ("downlink", "uplink"):
+        raise ValueError("direction must be 'downlink' or 'uplink'")
+    return WorldSpec(
+        delivery="psm",
+        duration_s=duration_s,
+        seed=seed,
+        label=f"psm-crossval[{direction}]",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("wlan")],
+            TrafficSpec(
+                "poisson",
+                bitrate_bps=offered_load_bps,
+                options={"packet_bytes": packet_bytes},
+            ),
+            # No resource manager in the loop: unbounded sink buffer.
+            buffer_bytes=1 << 30,
+            prefetch_s=0.0,
+        ),
+        platform=platform,
+        extras={
+            "psm_listen_interval": listen_interval,
+            "psm_direction": direction,
+            "offered_load_bps": offered_load_bps,
+            "packet_bytes": packet_bytes,
+        },
+    )
+
+
 def fleet_hotspot_world(
     n_clients: int = 24,
     n_aps: int = 4,

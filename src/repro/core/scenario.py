@@ -50,6 +50,7 @@ __all__ = [
     "run_faulty_hotspot_scenario",
     "run_hotspot_scenario",
     "run_psm_baseline_scenario",
+    "run_psm_crossval_scenario",
     "run_unscheduled_scenario",
 ]
 
@@ -236,3 +237,37 @@ def run_psm_baseline_scenario(
         platform=platform,
     )
     return WorldBuilder(spec).run(obs=obs)
+
+def run_psm_crossval_scenario(
+    n_clients: int = 1,
+    duration_s: float = 10.0,
+    offered_load_bps: float = 128_000.0,
+    packet_bytes: int = 1000,
+    listen_interval: int = 1,
+    direction: str = "downlink",
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    obs=None,
+) -> ScenarioResult:
+    """Analytic cross-validation workload: fixed-size Poisson frames.
+
+    The knobs map one-to-one onto
+    :class:`repro.analytic.models.PsmParams`, so the same grid point can
+    be fed to the simulator and to the closed-form predictors
+    (:mod:`repro.analytic.crossval` automates the comparison).
+    """
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import psm_crossval_world
+
+    spec = psm_crossval_world(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        offered_load_bps=offered_load_bps,
+        packet_bytes=packet_bytes,
+        listen_interval=listen_interval,
+        direction=direction,
+        seed=seed,
+        platform=platform,
+    )
+    return WorldBuilder(spec).run(obs=obs)
+

@@ -56,15 +56,19 @@ class FieldStats:
     def of(cls, values: Sequence[float]) -> "FieldStats":
         n = len(values)
         if n == 0:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, float("nan"), 0.0, 0.0)
         mean = sum(values) / n
         if n > 1:
             variance = sum((v - mean) ** 2 for v in values) / (n - 1)
             stdev = math.sqrt(variance)
             ci95 = t_critical_95(n - 1) * stdev / math.sqrt(n)
         else:
+            # One sample has no spread *estimate*: the interval is
+            # undefined, not zero.  A literal 0.0 here used to read as
+            # "perfectly converged" in every artifact; NaN survives to
+            # JSON as null (dumps_strict) and to CSV as a blank cell.
             stdev = 0.0
-            ci95 = 0.0
+            ci95 = float("nan")
         return cls(n, mean, stdev, ci95, min(values), max(values))
 
     def as_dict(self) -> Dict[str, float]:
@@ -355,6 +359,7 @@ def write_csv(
                 if stats is None:
                     row += ["", "", ""]
                 else:
-                    row += [stats.mean, stats.stdev, stats.ci95]
+                    ci95 = "" if math.isnan(stats.ci95) else stats.ci95
+                    row += [stats.mean, stats.stdev, ci95]
             row += [summary.qos_maintained, summary.failed]
             writer.writerow(row)

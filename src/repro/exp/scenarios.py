@@ -26,6 +26,7 @@ from repro.core.scenario import (
     run_faulty_hotspot_scenario,
     run_hotspot_scenario,
     run_psm_baseline_scenario,
+    run_psm_crossval_scenario,
     run_unscheduled_scenario,
 )
 from repro.net.scenario import run_fleet_hotspot_scenario
@@ -186,6 +187,7 @@ def _register_builtins() -> None:
         fleet_hotspot_world,
         hotspot_world,
         psm_baseline_world,
+        psm_crossval_world,
         unscheduled_world,
     )
 
@@ -196,6 +198,9 @@ def _register_builtins() -> None:
     register_scenario("unscheduled", run_unscheduled_scenario, unscheduled_world)
     register_scenario(
         "psm-baseline", run_psm_baseline_scenario, psm_baseline_world
+    )
+    register_scenario(
+        "psm-crossval", run_psm_crossval_scenario, psm_crossval_world
     )
     register_scenario(
         "fleet-hotspot", run_fleet_hotspot_scenario, fleet_hotspot_world

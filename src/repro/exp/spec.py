@@ -140,6 +140,13 @@ class CampaignSpec:
         When set, every run samples an in-run timeseries at this cadence
         (simulated seconds); the runner streams each run's samples to
         ``timeseries/<run key>.jsonl`` in the result store.
+    points_override:
+        Optional explicit list of swept-coordinate dicts replacing the
+        full cross product of ``grid`` (each entry must provide exactly
+        the grid keys).  ``grid`` still declares the axes and their
+        value order for labels, tables and CSV columns.  This is how
+        surrogate-guided refinement dispatches only the interesting
+        sub-grid (:meth:`refine_with_surrogate`).
     """
 
     name: str
@@ -150,12 +157,21 @@ class CampaignSpec:
     derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
     collect_metrics: bool = False
     timeseries_interval_s: Optional[float] = None
+    points_override: Optional[Sequence[Dict[str, Any]]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("campaign needs a name")
         if not self.seeds:
             raise ValueError("campaign needs at least one seed")
+        if self.points_override is not None:
+            expected = set(self.grid)
+            for entry in self.points_override:
+                if set(entry) != expected:
+                    raise ValueError(
+                        "points_override entries must provide exactly the "
+                        f"grid keys {sorted(expected)}; got {sorted(entry)}"
+                    )
         if (
             self.timeseries_interval_s is not None
             and self.timeseries_interval_s <= 0
@@ -180,7 +196,11 @@ class CampaignSpec:
     def points(self) -> List[Dict[str, Any]]:
         """The expanded grid (base + swept + derived params per point)."""
         points: List[Dict[str, Any]] = []
-        for swept in expand_grid(self.grid):
+        if self.points_override is not None:
+            swept_points = [dict(entry) for entry in self.points_override]
+        else:
+            swept_points = expand_grid(self.grid)
+        for swept in swept_points:
             params = dict(self.base)
             params.update(swept)
             if self.derive is not None:
@@ -223,7 +243,7 @@ class CampaignSpec:
 
     def describe(self) -> Dict[str, Any]:
         """JSON-ready summary of the spec (for artifact headers)."""
-        return {
+        payload = {
             "name": self.name,
             "scenario": self.scenario,
             "base": canonical_params(self.base),
@@ -232,3 +252,41 @@ class CampaignSpec:
             "collect_metrics": self.collect_metrics,
             "timeseries_interval_s": self.timeseries_interval_s,
         }
+        if self.points_override is not None:
+            payload["points_override"] = [
+                canonical_params(dict(entry)) for entry in self.points_override
+            ]
+        return payload
+
+    def refine_with_surrogate(
+        self,
+        predictor: str,
+        metric: str,
+        mode: str = "gradient",
+        target: Optional[float] = None,
+        fraction: float = 0.35,
+        param_map: Optional[Dict[str, str]] = None,
+    ) -> "RefinedCampaign":
+        """Pre-screen the grid with an analytic model; keep the
+        interesting fraction.
+
+        Evaluates ``predictor`` (a :data:`repro.analytic.PREDICTORS`
+        name) at every grid point, scores points by predicted-metric
+        gradient (``mode="gradient"``) or by proximity to ``target``
+        (``mode="target"``), and returns a
+        :class:`~repro.analytic.surrogate.RefinedCampaign` whose
+        ``spec`` carries only the top-scoring points via
+        ``points_override``.  Pure closed-form evaluation: the screen is
+        deterministic and costs no simulator time.
+        """
+        from repro.analytic.surrogate import refine_campaign
+
+        return refine_campaign(
+            self,
+            predictor=predictor,
+            metric=metric,
+            mode=mode,
+            target=target,
+            fraction=fraction,
+            param_map=param_map,
+        )

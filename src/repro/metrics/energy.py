@@ -12,7 +12,59 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.devices.profiles import DeviceProfile
-from repro.phy.radio import Radio
+from repro.phy.radio import Radio, RadioPowerModel
+
+
+@dataclass(frozen=True)
+class RadioPowerConstants:
+    """The power numbers of one radio, as plain scalars.
+
+    The analytic models (:mod:`repro.analytic`) need the same constants
+    the simulator charges — tx/rx/idle/sleep draw plus the sleep↔listen
+    transition costs — without duplicating literals that would silently
+    drift from :mod:`repro.devices.profiles`.  :meth:`of_model` reads
+    them straight out of a :class:`~repro.phy.radio.RadioPowerModel`, so
+    there is exactly one source of truth.
+    """
+
+    tx_w: float
+    rx_w: float
+    idle_w: float
+    sleep_w: float
+    wake_latency_s: float = 0.0
+    wake_energy_j: float = 0.0
+    sleep_latency_s: float = 0.0
+    sleep_energy_j: float = 0.0
+
+    @classmethod
+    def of_model(
+        cls,
+        model: RadioPowerModel,
+        tx: str = "tx",
+        rx: str = "rx",
+        idle: str = "idle",
+        sleep: str = "doze",
+    ) -> "RadioPowerConstants":
+        """Extract the constants from a radio power model's states."""
+        wake = model.transition(sleep, idle)
+        doze = model.transition(idle, sleep)
+        return cls(
+            tx_w=model.power(tx),
+            rx_w=model.power(rx),
+            idle_w=model.power(idle),
+            sleep_w=model.power(sleep),
+            wake_latency_s=wake.latency_s,
+            wake_energy_j=wake.energy_j,
+            sleep_latency_s=doze.latency_s,
+            sleep_energy_j=doze.energy_j,
+        )
+
+
+def wlan_cf_constants() -> RadioPowerConstants:
+    """Constants of the 802.11b CF card every WLAN scenario simulates."""
+    from repro.devices.profiles import wlan_cf_card
+
+    return RadioPowerConstants.of_model(wlan_cf_card())
 
 
 @dataclass

@@ -20,6 +20,8 @@ from repro.phy.channel import (
     RayleighBlockFading,
     ScriptedLinkQuality,
     ber,
+    ber_cache_stats,
+    configure_ber_cache,
     packet_error_rate,
     snr_db_from_link_budget,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "Transition",
     "WaypointMobility",
     "ber",
+    "ber_cache_stats",
+    "configure_ber_cache",
     "packet_error_rate",
     "quality_from_mobility",
     "snr_db_from_link_budget",

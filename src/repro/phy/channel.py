@@ -18,7 +18,8 @@ from __future__ import annotations
 import enum
 import math
 import random
-from typing import Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
 
 _LIGHT_SPEED_M_S = 299_792_458.0
 
@@ -26,6 +27,52 @@ _LIGHT_SPEED_M_S = 299_792_458.0
 def _q_function(x: float) -> float:
     """Tail probability of the standard normal distribution."""
     return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+# ---------------------------------------------------------------------------
+# BER/PER memoization
+#
+# The SNR -> BER -> PER chain sits on the per-frame hot path (every
+# Gilbert-Elliott survival draw, every link-adaptation probe), and its
+# erfc/expm1 math dominates those inner loops.  Caching floats is only
+# safe when it is bit-exact, so the cache serves *identical* inputs
+# only: an SNR is cached when it lies exactly on a quantized grid
+# (bounded key space, which is what makes an LRU meaningful — link
+# budgets and scripted sweeps produce such values), and anything
+# off-grid falls through to the exact math, uncached.  Disabling the
+# cache must therefore never change a single returned bit; the phy test
+# suite locks that equality down.
+
+#: Linear-SNR grid spacing served from the cache; off-grid SNRs are
+#: computed exactly and not cached.
+BER_CACHE_QUANTUM = 1e-3
+
+#: LRU bound: (modulation, grid-step) entries kept.
+BER_CACHE_MAX_ENTRIES = 4096
+
+_ber_cache: "OrderedDict[Tuple[Modulation, int], float]" = OrderedDict()
+_ber_cache_enabled = True
+_ber_cache_hits = 0
+_ber_cache_misses = 0
+
+
+def configure_ber_cache(enabled: bool = True) -> None:
+    """Enable/disable the BER cache (clears it and its counters)."""
+    global _ber_cache_enabled, _ber_cache_hits, _ber_cache_misses
+    _ber_cache_enabled = bool(enabled)
+    _ber_cache.clear()
+    _ber_cache_hits = 0
+    _ber_cache_misses = 0
+
+
+def ber_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the module-level BER cache."""
+    return {
+        "enabled": int(_ber_cache_enabled),
+        "hits": _ber_cache_hits,
+        "misses": _ber_cache_misses,
+        "size": len(_ber_cache),
+    }
 
 
 class Modulation(enum.Enum):
@@ -49,9 +96,35 @@ def ber(modulation: Modulation, snr_linear: float) -> float:
 
     Standard textbook approximations; all return values clipped to
     ``[0, 0.5]``.  ``snr_linear`` must be non-negative.
+
+    Results for SNRs lying exactly on the :data:`BER_CACHE_QUANTUM`
+    grid are served from a bounded LRU; off-grid SNRs always take the
+    exact-math path.  Both paths return bit-identical values
+    (:func:`configure_ber_cache` toggles the cache without changing any
+    result).
     """
     if snr_linear < 0:
         raise ValueError(f"SNR must be >= 0, got {snr_linear}")
+    global _ber_cache_hits, _ber_cache_misses
+    if _ber_cache_enabled:
+        steps = round(snr_linear / BER_CACHE_QUANTUM)
+        if steps * BER_CACHE_QUANTUM == snr_linear:
+            key = (modulation, steps)
+            cached = _ber_cache.get(key)
+            if cached is not None:
+                _ber_cache.move_to_end(key)
+                _ber_cache_hits += 1
+                return cached
+            value = _ber_exact(modulation, snr_linear)
+            _ber_cache[key] = value
+            _ber_cache_misses += 1
+            if len(_ber_cache) > BER_CACHE_MAX_ENTRIES:
+                _ber_cache.popitem(last=False)
+            return value
+    return _ber_exact(modulation, snr_linear)
+
+
+def _ber_exact(modulation: Modulation, snr_linear: float) -> float:
     if modulation is Modulation.DBPSK:
         value = 0.5 * math.exp(-snr_linear)
     elif modulation is Modulation.DQPSK:
@@ -219,6 +292,14 @@ class GilbertElliottChannel:
         self._rng = rng or random.Random(0)
         self._good = start_good
         self._time = 0.0
+        # (ber, bits) -> PER memo: a chain sees two BERs and a handful
+        # of frame sizes, so survival draws hit this dict essentially
+        # always.  Exact keys keep it bit-identical to the direct
+        # computation; the global BER-cache switch also governs it.
+        self._per_memo: Dict[Tuple[float, int], float] = {}
+
+    #: Distinct (ber, bits) pairs memoised per chain instance.
+    PER_MEMO_MAX_ENTRIES = 256
 
     @property
     def is_good(self) -> bool:
@@ -260,7 +341,16 @@ class GilbertElliottChannel:
         """Sample whether a ``bits``-long packet sent now survives."""
         if time is not None:
             self.advance_to(time)
-        per = packet_error_rate(self.current_ber(), bits)
+        current = self.current_ber()
+        if _ber_cache_enabled:
+            key = (current, bits)
+            per = self._per_memo.get(key)
+            if per is None:
+                per = packet_error_rate(current, bits)
+                if len(self._per_memo) < self.PER_MEMO_MAX_ENTRIES:
+                    self._per_memo[key] = per
+        else:
+            per = packet_error_rate(current, bits)
         return self._rng.random() >= per
 
     def expected_burst_lengths(self) -> Tuple[float, float]:

@@ -36,10 +36,25 @@ class TestFieldStats:
         assert stats.ci95 == 12.706 * math.sqrt(2.0) / math.sqrt(2.0)
         assert (stats.min, stats.max) == (1.0, 3.0)
 
-    def test_single_sample_has_zero_spread(self):
+    def test_single_sample_has_undefined_ci(self):
+        # Regression: n=1 used to report ci95=0.0, which every artifact
+        # rendered as "perfectly converged".  One sample has no spread
+        # estimate — the interval is NaN (null in JSON, blank in CSV).
         stats = FieldStats.of([5.0])
-        assert (stats.stdev, stats.ci95) == (0.0, 0.0)
+        assert stats.stdev == 0.0
+        assert math.isnan(stats.ci95)
         assert stats.render() == "5"
+
+    def test_empty_sample_has_undefined_ci(self):
+        stats = FieldStats.of([])
+        assert stats.n == 0
+        assert math.isnan(stats.ci95)
+
+    def test_single_sample_ci_serialises_to_null(self):
+        payload = {"stats": FieldStats.of([5.0]).as_dict()}
+        decoded = json.loads(dump_json(payload))
+        assert decoded["stats"]["ci95"] is None
+        assert decoded["stats"]["mean"] == 5.0
 
     def test_render_includes_ci_for_replicated_points(self):
         assert "±" in FieldStats.of([1.0, 2.0]).render()
@@ -49,6 +64,14 @@ class TestFieldStats:
         assert t_critical_95(30) == 2.042
         assert t_critical_95(200) == 1.96
         assert t_critical_95(0) == 0.0
+
+    def test_t_table_bounds(self):
+        # Monotone decreasing in df, always at least the normal 1.96,
+        # and at most the df=1 extreme — the properties the CI math
+        # relies on across every table entry and the >30 tail.
+        values = [t_critical_95(df) for df in range(1, 60)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(1.96 <= v <= 12.706 for v in values)
 
 
 class TestAggregate:
@@ -103,6 +126,22 @@ class TestAggregate:
         ]
         assert len(rows) == 3
         assert float(rows[1][2]) == pytest.approx(1.1)
+
+    def test_write_csv_blank_ci_for_single_seed(self, tmp_path):
+        path = tmp_path / "single.csv"
+        results = [
+            make_result(
+                {"gain": 1}, 0,
+                {"label": "g1", "wnic_power_w": 1.0, "qos_maintained": True},
+            )
+        ]
+        write_csv(str(path), aggregate(results), ["gain"],
+                  fields=("wnic_power_w",))
+        rows = list(csv.reader(path.open()))
+        # mean and stdev are real numbers; the undefined CI is blank,
+        # never a "nan" string a spreadsheet would choke on.
+        assert rows[1][2] == "1.0"
+        assert rows[1][4] == ""
 
     def test_dump_json_sorted_and_stable(self):
         payload = {"b": 1, "a": [1, 2]}

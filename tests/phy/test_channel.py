@@ -249,3 +249,94 @@ class TestGilbertElliottProperties:
             assert abs(good / 30_000 - expected) < 0.06
 
         check()
+
+
+class TestBerCache:
+    """The BER/PER memoization must be invisible: bit-identical on/off."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.phy import configure_ber_cache
+
+        configure_ber_cache(True)
+        yield
+        configure_ber_cache(True)
+
+    def test_cache_on_off_bit_identical(self):
+        from repro.phy import configure_ber_cache
+        from repro.phy.channel import BER_CACHE_QUANTUM
+
+        # On-grid (multiples of the quantum) and off-grid SNRs alike.
+        snrs = [i * BER_CACHE_QUANTUM for i in range(0, 20_000, 37)]
+        snrs += [0.123456789, 3.14159, 7.7777777, 1e-9]
+        configure_ber_cache(True)
+        with_cache = {
+            (m, s): ber(m, s) for m in Modulation for s in snrs
+        }
+        # Repeat queries so the second pass is served from the cache.
+        for (m, s), expected in with_cache.items():
+            assert ber(m, s) == expected
+        configure_ber_cache(False)
+        for (m, s), expected in with_cache.items():
+            assert ber(m, s) == expected
+
+    def test_on_grid_hits_off_grid_bypasses(self):
+        from repro.phy import ber_cache_stats, configure_ber_cache
+        from repro.phy.channel import BER_CACHE_QUANTUM
+
+        configure_ber_cache(True)
+        on_grid = 5000 * BER_CACHE_QUANTUM
+        ber(Modulation.DQPSK, on_grid)
+        ber(Modulation.DQPSK, on_grid)
+        stats = ber_cache_stats()
+        assert (stats["hits"], stats["misses"], stats["size"]) == (1, 1, 1)
+        ber(Modulation.DQPSK, on_grid + BER_CACHE_QUANTUM / 3.0)
+        assert ber_cache_stats()["size"] == 1  # off-grid never cached
+
+    def test_lru_bound_holds(self):
+        from repro.phy import ber_cache_stats, configure_ber_cache
+        from repro.phy.channel import BER_CACHE_MAX_ENTRIES, BER_CACHE_QUANTUM
+
+        configure_ber_cache(True)
+        for i in range(BER_CACHE_MAX_ENTRIES + 100):
+            ber(Modulation.DBPSK, i * BER_CACHE_QUANTUM)
+        assert ber_cache_stats()["size"] == BER_CACHE_MAX_ENTRIES
+
+    def test_gilbert_elliott_sequence_identical_cache_on_off(self):
+        from repro.phy import configure_ber_cache
+
+        def survival_sequence():
+            channel = GilbertElliottChannel(
+                p_good_to_bad=0.1,
+                p_bad_to_good=0.3,
+                ber_good=1e-6,
+                ber_bad=5e-3,
+                slot_s=0.01,
+                rng=random.Random(42),
+            )
+            return [
+                channel.packet_survives(8 * (64 + 128 * (i % 3)), time=i * 0.02)
+                for i in range(500)
+            ]
+
+        configure_ber_cache(True)
+        cached = survival_sequence()
+        configure_ber_cache(False)
+        uncached = survival_sequence()
+        assert cached == uncached
+        assert not all(cached)  # the bad state actually bit
+
+    def test_per_memo_distinguishes_ber_and_bits(self):
+        channel = GilbertElliottChannel(
+            p_good_to_bad=0.0, p_bad_to_good=0.0, ber_good=0.01,
+            rng=random.Random(1),
+        )
+        # Prime the memo at one size, then query another: survival odds
+        # must track the fresh computation, not the primed entry.
+        survived_small = sum(channel.packet_survives(80) for _ in range(2000))
+        survived_large = sum(channel.packet_survives(4000) for _ in range(2000))
+        expected_small = (1.0 - packet_error_rate(0.01, 80)) * 2000
+        expected_large = (1.0 - packet_error_rate(0.01, 4000)) * 2000
+        assert abs(survived_small - expected_small) < 150
+        assert abs(survived_large - expected_large) < 150
+        assert survived_large < survived_small
