@@ -3,9 +3,10 @@
 Two checks, both against ``BENCH_kernel.json``:
 
 - **floor** — every scenario point must clear ``--min-events-per-s``
-  wall-clock events/s.  The default floor is deliberately conservative
-  (an order of magnitude under typical machines): it catches a kernel
-  that has fallen off a cliff, not day-to-day machine noise.
+  wall-clock events/s (or its entry in ``SCENARIO_FLOORS``, whichever
+  is higher).  Floors are deliberately conservative (an order of
+  magnitude under typical machines): they catch a kernel that has
+  fallen off a cliff, not day-to-day machine noise.
 - **baseline** (optional) — with ``--baseline FILE``, every point must
   reach ``--tolerance`` times the matching scenario's events/s in the
   older record.  For local before/after comparisons; CI uses the floor.
@@ -17,8 +18,18 @@ import argparse
 import json
 import sys
 
-#: Conservative default: real machines do tens of thousands events/s.
-DEFAULT_FLOOR_EVENTS_PER_S = 2000.0
+#: Conservative default: real machines do hundreds of thousands of
+#: events/s since the calendar-queue kernel rework; an order of
+#: magnitude of headroom absorbs slow or loaded CI machines.
+DEFAULT_FLOOR_EVENTS_PER_S = 10_000.0
+
+#: Per-scenario floors overriding the default where the workload is
+#: long enough to measure reliably.  psm-baseline dominates the bench
+#: (~0.5 M events per 30 s simulated) and sustains ~350 k events/s on a
+#: development machine, so even a pessimistic CI box clears 30 k.
+SCENARIO_FLOORS = {
+    "psm-baseline": 30_000.0,
+}
 
 
 def load_points(path):
@@ -66,15 +77,15 @@ def main(argv=None):
     for name, point in sorted(points.items()):
         rate = point.get("events_per_s", 0.0)
         events = point.get("sim_events", 0)
+        floor = max(args.min_events_per_s, SCENARIO_FLOORS.get(name, 0.0))
         if events <= 0:
             failures.append(f"{name}: scheduled no events")
-        elif rate < args.min_events_per_s:
+        elif rate < floor:
             failures.append(
-                f"{name}: {rate:.0f} events/s under the "
-                f"{args.min_events_per_s:.0f} floor"
+                f"{name}: {rate:.0f} events/s under the {floor:.0f} floor"
             )
         else:
-            print(f"check_bench: {name}: {rate:.0f} events/s ok")
+            print(f"check_bench: {name}: {rate:.0f} events/s ok (floor {floor:.0f})")
 
     if args.baseline:
         baseline = load_points(args.baseline)

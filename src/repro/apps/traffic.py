@@ -23,6 +23,9 @@ Arrival = Tuple[float, int, str]
 #: Samples per MPEG-1 Layer III frame / the standard sample rate.
 MP3_FRAME_INTERVAL_S = 1152 / 44_100.0
 
+#: Arrivals batched per ``Simulator.bulk_timeouts`` call in the pump.
+_PUMP_CHUNK = 256
+
 
 class TrafficSource:
     """Base class wiring an arrival stream into the simulator."""
@@ -47,13 +50,42 @@ class TrafficSource:
         sink: Callable[[int, str], None],
         until_s: float,
     ):
-        """Pump arrivals into ``sink(nbytes, kind)`` in simulated time."""
+        """Pump arrivals into ``sink(nbytes, kind)`` in simulated time.
+
+        Arrivals are batched through :meth:`Simulator.bulk_timeouts` in
+        chunks: the sleep before each arrival is ``now + (t - now)``, and
+        since the pump wakes exactly at each hop's fire time the whole
+        chunk's fire times follow from the current clock before any hop
+        runs — bit-for-bit the same instants the one-timeout-per-arrival
+        pump produced.
+        """
+
+        def drain(chunk):
+            now = sim._now
+            hops = []
+            flags = []
+            for time_s, _nbytes, _kind in chunk:
+                if time_s > now:
+                    now = now + (time_s - now)  # mirrors Timeout's fire time
+                    hops.append(now)
+                    flags.append(True)
+                else:
+                    flags.append(False)
+            timeouts = iter(sim.bulk_timeouts(hops)) if hops else iter(())
+            for sleeps, (_time_s, nbytes, kind) in zip(flags, chunk):
+                if sleeps:
+                    yield next(timeouts)
+                sink(nbytes, kind)
 
         def pump():
-            for time_s, nbytes, kind in self.arrivals(until_s):
-                if time_s > sim.now:
-                    yield sim.timeout(time_s - sim.now)
-                sink(nbytes, kind)
+            chunk = []
+            for arrival in self.arrivals(until_s):
+                chunk.append(arrival)
+                if len(chunk) >= _PUMP_CHUNK:
+                    yield from drain(chunk)
+                    chunk = []
+            if chunk:
+                yield from drain(chunk)
 
         return sim.process(pump(), name=f"{type(self).__name__}-pump")
 

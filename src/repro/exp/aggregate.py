@@ -56,7 +56,11 @@ class FieldStats:
     def of(cls, values: Sequence[float]) -> "FieldStats":
         n = len(values)
         if n == 0:
-            return cls(0, 0.0, 0.0, float("nan"), 0.0, 0.0)
+            # No samples: extrema are undefined, not zero — like ci95,
+            # NaN survives to JSON as null (dumps_strict) and to CSV as
+            # a blank cell instead of posing as a measurement.
+            nan = float("nan")
+            return cls(0, 0.0, 0.0, nan, nan, nan)
         mean = sum(values) / n
         if n > 1:
             variance = sum((v - mean) ** 2 for v in values) / (n - 1)
@@ -134,8 +138,11 @@ def merge_metric_snapshots(
             count = value["count"]
             value["mean"] = value.pop("_sum") / count if count else 0.0
             if not count:
-                value["min"] = 0.0
-                value["max"] = 0.0
+                # Nothing was sampled: don't leak the ±inf seeds, but
+                # don't report 0.0 as if it were an observed extremum
+                # either — NaN serialises to null via dumps_strict.
+                value["min"] = math.nan
+                value["max"] = math.nan
             for key, (weighted, total) in value.pop("_weighted").items():
                 value[key] = weighted / total if total else 0.0
     return merged

@@ -23,7 +23,9 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.mac.frames import BROADCAST, Dot11Timing, Frame, FrameKind
 from repro.mac.medium import Medium
+from repro.sim.events import AnyOf as _AnyOf
 from repro.sim.events import Event
+from repro.sim.events import Timeout as _Timeout
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class DcfConfig:
     """Per-station DCF parameters."""
 
@@ -48,7 +50,7 @@ class DcfConfig:
     rts_threshold_bytes: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueuedFrame:
     frame: Frame
     done: Event
@@ -318,9 +320,9 @@ class DcfStation:
                 return on_air_ok
             self._awaiting_ack = Event(self.sim)
             ack_event = self._awaiting_ack
-            timeout = self.sim.timeout(timing.ack_timeout_s())
-            yield self.sim.any_of([ack_event, timeout])
-            if ack_event.processed and ack_event.ok:
+            timeout = _Timeout(self.sim, timing.ack_timeout_s())
+            yield _AnyOf(self.sim, (ack_event, timeout))
+            if ack_event._state == 2 and ack_event._ok:
                 if controller is not None:
                     controller.on_success()
                 return True
@@ -374,9 +376,9 @@ class DcfStation:
         yield from self._on_air(rts)
         self._awaiting_cts = Event(self.sim)
         cts_event = self._awaiting_cts
-        timeout = self.sim.timeout(self.timing.cts_timeout_s())
-        yield self.sim.any_of([cts_event, timeout])
-        if cts_event.processed and cts_event.ok:
+        timeout = _Timeout(self.sim, self.timing.cts_timeout_s())
+        yield _AnyOf(self.sim, (cts_event, timeout))
+        if cts_event._state == 2 and cts_event._ok:
             self.cts_received += 1
             return True
         self._awaiting_cts = None
@@ -388,10 +390,15 @@ class DcfStation:
         Both physical carrier sense (the medium as heard at this station)
         and virtual carrier sense (the NAV set by overheard RTS/CTS
         duration fields) must be clear.
+
+        This is the hottest generator in the simulator (one AnyOf race
+        per backoff slot), so everything it touches per slot is bound to
+        a local first and event state is read straight from the slots.
         """
         timing = self.timing
         backoff_slots = self.rng.randint(0, contention_window)
-        bus = self.sim.trace
+        sim = self.sim
+        bus = sim.trace
         if bus.enabled:
             bus.emit(
                 "mac",
@@ -400,25 +407,34 @@ class DcfStation:
                 slots=backoff_slots,
                 cw=contention_window,
             )
+        medium = self.medium
+        address = self.address
+        wait_busy = medium.wait_busy
+        is_idle_for = medium.is_idle_for
+        any_of = _AnyOf
+        make_timeout = _Timeout
+        slot_s = timing.slot_s
+        difs_s = timing.difs_s
         while True:
-            if not self.medium.is_idle_for(self.address):
-                yield self.medium.wait_idle(self.address)
-            if self.sim.now < self._nav_until:
-                yield self.sim.timeout(self._nav_until - self.sim.now)
+            if not is_idle_for(address):
+                yield medium.wait_idle(address)
+            now = sim._now
+            if now < self._nav_until:
+                yield make_timeout(sim, self._nav_until - now)
                 continue
             # The channel must stay idle for a full DIFS.
-            busy = self.medium.wait_busy(self.address)
-            difs = self.sim.timeout(timing.difs_s)
-            yield self.sim.any_of([difs, busy])
-            if busy.processed:
+            busy = wait_busy(address)
+            difs = make_timeout(sim, difs_s)
+            yield any_of(sim, (difs, busy))
+            if busy._state == 2:  # processed: went busy during DIFS
                 continue
             # Count the backoff down one slot at a time, freezing on busy.
             interrupted = False
             while backoff_slots > 0:
-                busy = self.medium.wait_busy(self.address)
-                slot = self.sim.timeout(timing.slot_s)
-                yield self.sim.any_of([slot, busy])
-                if busy.processed:
+                busy = wait_busy(address)
+                slot = make_timeout(sim, slot_s)
+                yield any_of(sim, (slot, busy))
+                if busy._state == 2:
                     interrupted = True
                     break
                 backoff_slots -= 1

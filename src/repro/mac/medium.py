@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol
 
 from repro.mac.frames import BROADCAST, Dot11Timing, Frame
 from repro.sim.events import Event
+from repro.sim.events import Timeout as _Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -144,7 +145,7 @@ class Medium:
 
     def _transmit_body(self, frame: Frame):
         airtime = frame.airtime_s(self.timing)
-        start = self.sim.now
+        start = self.sim._now
         transmission = _Transmission(frame, start, start + airtime)
         self.frames_sent += 1
         self.busy_time_s += airtime
@@ -168,7 +169,7 @@ class Medium:
             waiters, self._busy_waiters = self._busy_waiters, []
             for event in waiters:
                 event.succeed(frame)
-        yield self.sim.timeout(airtime)
+        yield _Timeout(self.sim, airtime)
         self._active.remove(transmission)
         if not self._active:
             waiters, self._idle_waiters = self._idle_waiters, []

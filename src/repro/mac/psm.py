@@ -31,7 +31,9 @@ from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 from repro.mac.dcf import DcfConfig, DcfStation
 from repro.mac.frames import BROADCAST, Frame, FrameKind
 from repro.mac.medium import Medium
+from repro.sim.events import AnyOf as _AnyOf
 from repro.sim.events import Event
+from repro.sim.events import Timeout as _Timeout
 from repro.sim.process import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -317,7 +319,7 @@ class PsmStation(DcfStation):
         except Interrupt:
             # Clean shutdown: settle any in-flight transition, then wake.
             while self.radio.in_transition:
-                yield self.sim.timeout(self.timing.slot_s)
+                yield _Timeout(self.sim, self.timing.slot_s)
             if self.radio.state != "idle":
                 yield self.radio.transition_to("idle")
 
@@ -334,8 +336,8 @@ class PsmStation(DcfStation):
             wake_number = max(wake_number + 1, int(self.sim.now / interval) + 1)
             # Sleep until just before the next target beacon time.
             wake_at = wake_number * interval - psm.wake_guard_s
-            if wake_at > self.sim.now:
-                yield self.sim.timeout(wake_at - self.sim.now)
+            if wake_at > self.sim._now:
+                yield _Timeout(self.sim, wake_at - self.sim._now)
             yield self.radio.transition_to("idle")
             tim = yield from self._await_beacon()
             if tim is not None and self.address in tim:
@@ -352,15 +354,15 @@ class PsmStation(DcfStation):
             # Uplink frames queued while dozing go out in this window, and
             # in-flight ACKs/retries must finish before the radio sleeps.
             while not self.mac_quiescent:
-                yield self.sim.timeout(timing.slot_s)
+                yield _Timeout(self.sim, timing.slot_s)
             yield self.radio.transition_to("doze")
 
     def _await_beacon(self):
         """Wait for the next beacon; returns its TIM or None on timeout."""
         self._beacon_event = Event(self.sim)
         beacon = self._beacon_event
-        timeout = self.sim.timeout(self.psm.beacon_timeout_s)
-        yield self.sim.any_of([beacon, timeout])
+        timeout = _Timeout(self.sim, self.psm.beacon_timeout_s)
+        yield _AnyOf(self.sim, (beacon, timeout))
         if beacon.processed:
             return beacon.value
         self._beacon_event = None
@@ -384,8 +386,8 @@ class PsmStation(DcfStation):
             yield self.enqueue_frame(poll)
             self._data_event = Event(self.sim)
             data = self._data_event
-            timeout = self.sim.timeout(self.psm.poll_data_timeout_s)
-            yield self.sim.any_of([data, timeout])
+            timeout = _Timeout(self.sim, self.psm.poll_data_timeout_s)
+            yield _AnyOf(self.sim, (data, timeout))
             if not data.processed:
                 self._data_event = None
                 retries += 1

@@ -191,11 +191,13 @@ class StreamingHistogram:
 
     @property
     def min(self) -> float:
-        return self._min if self._count else 0.0
+        """Smallest sample; NaN while empty (0.0 would read as a measurement)."""
+        return self._min if self._count else math.nan
 
     @property
     def max(self) -> float:
-        return self._max if self._count else 0.0
+        """Largest sample; NaN while empty (0.0 would read as a measurement)."""
+        return self._max if self._count else math.nan
 
     def quantile(self, p: float) -> float:
         """Estimate for a *tracked* quantile ``p``."""

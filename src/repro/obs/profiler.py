@@ -81,8 +81,8 @@ class KernelProfiler:
         clock = time.perf_counter
 
         def profiled_step() -> None:
-            queue = sim._queue
-            kind = type(queue[0][3]).__name__ if queue else "<empty>"
+            head = sim._peek_event()
+            kind = type(head).__name__ if head is not None else "<empty>"
             start = clock()
             original_step()
             elapsed = clock() - start
@@ -93,7 +93,7 @@ class KernelProfiler:
             self.steps += 1
             self.total_wall_s += elapsed
             if self.steps % self._queue_sample_every == 0:
-                depth = len(queue)
+                depth = sim.queue_depth
                 self.queue_depth.add(depth)
                 self.queue_depth_hist.add(depth)
 
@@ -141,10 +141,16 @@ class KernelProfiler:
             title=title,
         )
         depth = self.queue_depth
-        summary = (
-            f"steps: {self.steps}  wall: {total * 1e3:.2f} ms  "
+        # depth.max is NaN until the first (every-Nth-step) sample lands;
+        # render the depth block only once something was measured.
+        depth_part = (
             f"queue depth: mean={depth.mean:.1f} max={depth.max:.0f} "
             f"p95={self.queue_depth_hist.quantile(0.95):.0f}"
+            if depth.count
+            else "queue depth: unsampled"
+        )
+        summary = (
+            f"steps: {self.steps}  wall: {total * 1e3:.2f} ms  {depth_part}"
             if self.steps
             else "steps: 0"
         )

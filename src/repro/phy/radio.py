@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerState:
     """A named operating state drawing constant power.
 
@@ -49,7 +49,7 @@ class PowerState:
             raise ValueError(f"state {self.name!r} has negative power")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transition:
     """Cost of moving between two power states.
 

@@ -4,15 +4,43 @@ Scheduling is deterministic: queue entries are ordered by
 ``(time, priority, sequence)`` where the sequence number increases
 monotonically, so events scheduled for the same instant fire in the order
 they were scheduled (kernel-internal wakeups first).
+
+Queue structure (calendar queue)
+--------------------------------
+The pending set is split into two tiers so the hot path pushes into a
+small heap instead of one global heap spanning the whole horizon:
+
+- ``_current`` — a heap holding every entry whose bucket index equals
+  ``_cur_idx`` (the bucket the clock is currently inside).
+- ``_buckets`` — a calendar of *unsorted* lists keyed by bucket index
+  (``int(time * _scale)``), for entries beyond the current bucket.
+  Insertion is a plain ``list.append``.  ``_order`` is a heap of the
+  occupied bucket indices — the far-future overflow structure that tells
+  the kernel which bucket to promote next.
+
+When ``_current`` drains, the lowest occupied bucket is promoted: its
+entries are heapified into ``_current`` and ``_cur_idx`` jumps straight
+to that bucket (empty buckets are never visited, so sparse horizons cost
+nothing).  Total order is preserved exactly because the bucket index
+``int(t * scale)`` is monotone in ``t``: every entry in a future bucket
+compares strictly greater on time than every entry in ``_current``, and
+entries with equal time always share a bucket, where the heap breaks
+ties by ``(priority, seq)`` as before.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Iterable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
+
+#: Default calendar bucket width in seconds.  Chosen so that typical MAC
+#: timescales (µs slots, ms frame times) land in the current bucket —
+#: the fast path — while beacon intervals and session timers spread over
+#: the calendar instead of bloating one heap.
+_DEFAULT_BUCKET_WIDTH_S = 1e-3
 
 
 class SimulationError(RuntimeError):
@@ -49,11 +77,30 @@ class Simulator:
         Optional :class:`repro.obs.bus.TraceBus` to bind; without one,
         ``self.trace`` is a permanently disabled sentinel and
         instrumentation costs one attribute read + branch per site.
+    bucket_width_s:
+        Calendar bucket width.  Purely a performance knob: any positive
+        width yields the identical dispatch order.
     """
 
-    def __init__(self, start_time: float = 0.0, trace: Any = None) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: Any = None,
+        bucket_width_s: float = _DEFAULT_BUCKET_WIDTH_S,
+    ) -> None:
+        if bucket_width_s <= 0:
+            raise ValueError(f"bucket width must be positive: {bucket_width_s!r}")
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._scale = 1.0 / bucket_width_s
+        self._cur_idx = int(self._now * self._scale)
+        #: Heap of entries in the current bucket (the only sorted tier).
+        self._current: List[tuple] = []
+        #: Unsorted future buckets keyed by ``int(t * _scale)``.
+        self._buckets: dict[int, List[tuple]] = {}
+        #: Heap of occupied future-bucket indices (promotion order).
+        self._order: List[int] = []
+        #: Pending entries in future buckets (current tier uses ``len``).
+        self._future_count = 0
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.trace: Any = _NULL_TRACE
@@ -99,7 +146,7 @@ class Simulator:
     @property
     def queue_depth(self) -> int:
         """Events currently pending in the queue (instantaneous backlog)."""
-        return len(self._queue)
+        return len(self._current) + self._future_count
 
     # -- event factories -------------------------------------------------------
 
@@ -110,6 +157,59 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def bulk_timeouts(self, times: Sequence[float], values: Any = None) -> List[Timeout]:
+        """Batch-create timeouts firing at the given *absolute* times.
+
+        Equivalent to ``[self.timeout(t - self.now) for t in times]``
+        except that each event fires at exactly its requested absolute
+        time (no ``now + (t - now)`` round-trip through float
+        subtraction) and per-call dispatch overhead is paid once for the
+        whole batch.  ``times`` must be non-decreasing and must not
+        precede the current time.  Sequence numbers are assigned in
+        list order, preserving the deterministic same-instant tie-break.
+
+        Parameters
+        ----------
+        times:
+            Absolute fire times, non-decreasing, each ``>= self.now``.
+        values:
+            Optional per-timeout values (same length as ``times``).
+        """
+        now = self._now
+        scale = self._scale
+        cur_idx = self._cur_idx
+        current = self._current
+        seq = self._seq
+        created: List[Timeout] = []
+        append = created.append
+        previous = now
+        if values is None:
+            values = [None] * len(times)
+        elif len(values) != len(times):
+            raise ValueError("values must match times in length")
+        for when, value in zip(times, values):
+            if when < previous:
+                raise SimulationError(
+                    f"bulk_timeouts times must be non-decreasing and >= now "
+                    f"(got {when!r} after {previous!r})"
+                )
+            previous = when
+            event = Timeout.__new__(Timeout)
+            event.sim = self
+            event.callbacks = []
+            event.delay = when - now
+            event._state = 1  # _TRIGGERED: fire time fixed at creation
+            event._ok = True
+            event._value = value
+            seq += 1
+            if int(when * scale) <= cur_idx:
+                heappush(current, (when, NORMAL, seq, event))
+            else:
+                self._enqueue_future(when, NORMAL, seq, event)
+            append(event)
+        self._seq = seq
+        return created
 
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
         """Start a new :class:`Process` driving ``generator``."""
@@ -128,14 +228,62 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        when = self._now + delay
+        seq = self._seq + 1
+        self._seq = seq
+        if int(when * self._scale) <= self._cur_idx:
+            heappush(self._current, (when, priority, seq, event))
+        else:
+            self._enqueue_future(when, priority, seq, event)
+
+    def _enqueue_future(self, when: float, priority: int, seq: int, event: Event) -> None:
+        """Insert an entry into its future calendar bucket.
+
+        Shared slow half of the insert; the fast half (current-bucket
+        heappush) is inlined at each schedule site — ``_schedule`` here
+        plus ``Timeout.__init__`` / ``succeed`` / the Condition fire path
+        in ``events.py``, which must stay in lockstep.
+        """
+        idx = int(when * self._scale)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = bucket = []
+            heappush(self._order, idx)
+        bucket.append((when, priority, seq, event))
+        self._future_count += 1
+
+    def _advance(self) -> bool:
+        """Promote the lowest occupied future bucket into ``_current``.
+
+        Returns False when no future bucket exists (queue fully drained).
+        Only called with ``_current`` empty, so the promoted entries are
+        exactly the next slice of the global order.
+        """
+        order = self._order
+        if not order:
+            return False
+        idx = heappop(order)
+        bucket = self._buckets.pop(idx)
+        self._cur_idx = idx
+        self._future_count -= len(bucket)
+        current = self._current
+        current.extend(bucket)
+        heapify(current)
+        return True
 
     # -- run loop ----------------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if not self._current and not self._advance():
+            return float("inf")
+        return self._current[0][0]
+
+    def _peek_event(self) -> Optional[Event]:
+        """The next event to dispatch, without dispatching it (profilers)."""
+        if not self._current and not self._advance():
+            return None
+        return self._current[0][3]
 
     def step(self) -> None:
         """Process exactly one event.
@@ -145,18 +293,18 @@ class Simulator:
         SimulationError
             If the queue is empty.
         """
-        if not self._queue:
+        if not self._current and not self._advance():
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = heappop(self._current)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = []  # further appends would never run
-        event._mark_processed()
+        event._state = 2  # _PROCESSED
         for callback in callbacks:
             callback(event)
-        if not event.ok and not callbacks:
+        if not event._ok and not callbacks:
             # A failure nobody waited for must not pass silently.
-            raise event.value
+            raise event._value
 
     def _traced_step(self) -> None:
         """:meth:`step` variant emitting a kernel dispatch trace event.
@@ -167,9 +315,9 @@ class Simulator:
         their dispatch).  Installed over ``step`` by
         :meth:`attach_trace`.
         """
-        if not self._queue:
+        if not self._current and not self._advance():
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = heappop(self._current)
         self._now = when
         trace = self.trace
         if trace.enabled:
@@ -178,15 +326,15 @@ class Simulator:
                 "kernel",
                 "dispatch",
                 event=type(event).__name__,
-                queued=len(self._queue),
+                queued=len(self._current) + self._future_count,
             )
         callbacks = event.callbacks
         event.callbacks = []
-        event._mark_processed()
+        event._state = 2  # _PROCESSED
         for callback in callbacks:
             callback(event)
-        if not event.ok and not callbacks:
-            raise event.value
+        if not event._ok and not callbacks:
+            raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulation time reaches ``until``.
@@ -195,21 +343,57 @@ class Simulator:
         if the queue drains earlier, so time-weighted statistics close
         consistently.
         """
-        # Hoisted loop invariants: the heap is mutated in place (never
-        # rebound) and step() is not replaced mid-run.
-        queue = self._queue
-        step = self.step
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) is in the past (now={self._now!r})"
+            )
+        if "step" in self.__dict__:
+            # A traced or profiled step shadows the method; preserve the
+            # one-call-per-event contract those wrappers rely on.
+            step = self.step
+            if until is not None:
+                while True:
+                    if not self._current and not self._advance():
+                        break
+                    if self._current[0][0] > until:
+                        break
+                    step()
+                self._now = float(until)
+            else:
+                while self._current or self._advance():
+                    step()
+            return
+        # Fast path: the step body is inlined so the per-event cost is
+        # one heappop plus the callback fan-out — no method dispatch,
+        # no property descriptors.  Mirrors step() exactly.
+        bound = float("inf") if until is None else until
+        current = self._current
+        pop = heappop
+        while True:
+            if not current:
+                if not self._advance():
+                    break
+                continue
+            entry = pop(current)
+            when = entry[0]
+            if when > bound:
+                # Crossed the horizon: the entry stays pending.
+                heappush(current, entry)
+                break
+            event = entry[3]
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = []
+            event._state = 2  # _PROCESSED
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+                if not callbacks and not event._ok:
+                    raise event._value
         if until is not None:
-            if until < self._now:
-                raise SimulationError(
-                    f"run(until={until!r}) is in the past (now={self._now!r})"
-                )
-            while queue and queue[0][0] <= until:
-                step()
             self._now = float(until)
-        else:
-            while queue:
-                step()
 
     def __repr__(self) -> str:
-        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"
+        return f"<Simulator t={self._now:.6f} queued={self.queue_depth}>"

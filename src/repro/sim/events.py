@@ -7,10 +7,21 @@ run).  Events may succeed with a value or fail with an exception.
 
 :class:`Timeout` is an event that triggers after a fixed delay.
 :class:`AnyOf` / :class:`AllOf` combine several events into one.
+
+Hot-path note
+-------------
+``Timeout.__init__``, ``Event.succeed`` and the :class:`Condition` fire
+path inline the simulator's calendar-queue insert instead of calling
+``Simulator._schedule``: together they account for nearly every event
+the kernel schedules, and the call overhead is measurable at the 1M
+events/s target.  The insert logic must stay in lockstep with
+``Simulator._schedule`` (see ``core.py``); the kernel-ordering property
+tests in ``tests/sim/test_kernel_order.py`` pin the equivalence.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -78,7 +89,20 @@ class Event:
         self._state = _TRIGGERED
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay=delay, priority=NORMAL)
+        if delay:
+            self.sim._schedule(self, delay, NORMAL)
+            return self
+        # Inlined immediate schedule (mirrors Simulator._schedule).
+        sim = self.sim
+        when = sim._now
+        seq = sim._seq + 1
+        sim._seq = seq
+        if int(when * sim._scale) <= sim._cur_idx:
+            heappush(sim._current, (when, NORMAL, seq, self))
+        else:
+            # run(until) moved the clock past the current bucket; take
+            # the generic path rather than duplicating bucket creation.
+            sim._enqueue_future(when, NORMAL, seq, self)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -90,7 +114,7 @@ class Event:
         self._state = _TRIGGERED
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay=delay, priority=NORMAL)
+        self.sim._schedule(self, delay, NORMAL)
         return self
 
     # -- kernel hooks ------------------------------------------------------
@@ -109,14 +133,23 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        # Inlined Event.__init__ + calendar insert: timeouts are the
+        # kernel's hottest allocation and the call overhead is real.
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
         self.delay = delay
-        self._state = _TRIGGERED
+        self._state = _TRIGGERED  # the firing time is fixed at creation
         self._ok = True
         self._value = value
-        sim._schedule(self, delay=delay, priority=NORMAL)
+        when = sim._now + delay
+        seq = sim._seq + 1
+        sim._seq = seq
+        if int(when * sim._scale) <= sim._cur_idx:
+            heappush(sim._current, (when, NORMAL, seq, self))
+        else:
+            sim._enqueue_future(when, NORMAL, seq, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
@@ -125,65 +158,109 @@ class Timeout(Event):
 class Condition(Event):
     """Base for composite events over a set of sub-events.
 
-    The condition fires as soon as ``evaluate`` reports completion.  Its
+    The condition fires as soon as enough sub-events have fired.  Its
     value is a dict mapping each *triggered* sub-event to that event's
     value, in trigger order.  A failing sub-event fails the condition.
+
+    Once the condition triggers, its callback is detached from every
+    still-pending sub-event: a long-lived event raced repeatedly (e.g. a
+    shutdown event versus per-frame timeouts) must not accumulate dead
+    callbacks from conditions that were decided long ago.
+
+    ``events`` may be a tuple, in which case it is used as-is without a
+    defensive copy (the hot composition path in the MAC layer builds a
+    fresh tuple per race).
     """
 
-    __slots__ = ("_events", "_done_count")
+    __slots__ = ("_events", "_done_count", "_needed", "_cb")
+
+    #: Subclasses fire after one sub-event (AnyOf) or all of them (AllOf).
+    _NEEDS_ALL = True
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim)
-        self._events = list(events)
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+        subs = events if type(events) is tuple else tuple(events)
+        self._events = subs
         self._done_count = 0
-        for event in self._events:
-            if event.sim is not sim:
-                raise ValueError("cannot mix events from different simulators")
-        if not self._events:
+        if not subs:
+            self._needed = 0
+            self._cb = None
             self.succeed({})
             return
-        for event in self._events:
-            if event.processed:
+        self._needed = len(subs) if self._NEEDS_ALL else 1
+        cb = self._cb = self._on_sub_event
+        for event in subs:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+            if self._state:  # decided during this loop: attach nothing more
+                continue
+            if event._state == _PROCESSED:
                 self._on_sub_event(event)
             else:
-                event.callbacks.append(self._on_sub_event)
+                event.callbacks.append(cb)
 
     def _threshold(self) -> int:
-        raise NotImplementedError
+        return len(self._events) if self._NEEDS_ALL else 1
 
     def _on_sub_event(self, event: Event) -> None:
-        if self.triggered:
+        if self._state:  # already triggered
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
+            self._detach()
             return
-        self._done_count += 1
-        if self._done_count >= self._threshold():
-            self.succeed(self._collect())
+        done = self._done_count + 1
+        self._done_count = done
+        if done >= self._needed:
+            # Inlined succeed() + immediate schedule: this fires once per
+            # AnyOf race, which the MAC contention loop runs per slot.
+            self._state = _TRIGGERED
+            self._value = {
+                e: e._value for e in self._events if e._state == _PROCESSED and e._ok
+            }
+            sim = self.sim
+            when = sim._now
+            seq = sim._seq + 1
+            sim._seq = seq
+            if int(when * sim._scale) <= sim._cur_idx:
+                heappush(sim._current, (when, NORMAL, seq, self))
+            else:
+                sim._enqueue_future(when, NORMAL, seq, self)
+            self._detach()
+
+    def _detach(self) -> None:
+        """Drop our callback from every sub-event that has not fired yet."""
+        cb = self._cb
+        for event in self._events:
+            if event._state != _PROCESSED:
+                try:
+                    event.callbacks.remove(cb)
+                except ValueError:
+                    pass  # never attached (decided mid-init) or mid-dispatch
 
     def _collect(self) -> dict[Event, Any]:
         # Only *processed* events count as "fired": Timeouts are born
         # triggered (their firing time is fixed at creation), so testing
         # `triggered` would wrongly include every pending timeout.
-        return {e: e.value for e in self._events if e.processed and e.ok}
+        return {e: e._value for e in self._events if e._state == _PROCESSED and e._ok}
 
 
 class AnyOf(Condition):
     """Fires when any one of the sub-events fires."""
 
     __slots__ = ()
-
-    def _threshold(self) -> int:
-        return 1
+    _NEEDS_ALL = False
 
 
 class AllOf(Condition):
     """Fires when every sub-event has fired."""
 
     __slots__ = ()
-
-    def _threshold(self) -> int:
-        return len(self._events)
+    _NEEDS_ALL = True
 
 
 def _describe(event: Optional[Event]) -> str:

@@ -10,13 +10,25 @@ other.
 Processes can be interrupted: :meth:`Process.interrupt` raises
 :class:`Interrupt` inside the generator at the current simulation time,
 detaching it from whatever event it was waiting on.
+
+Resume filtering
+----------------
+``_resume`` only accepts a trigger that is either the event the process
+is currently waiting on (``_target``) or a pending interrupt carrier.
+Anything else is a *stale* trigger and is ignored.  The stale case is
+real: if ``interrupt()`` runs while the waited-on event is already
+dispatching its callbacks (the kernel has snapshotted the list, so the
+detach's ``remove`` finds nothing), the original event still invokes
+``_resume`` in the same tick — without the identity check the process
+would resume from the event it was just interrupted away from *and*
+later receive the Interrupt against the wrong target.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
-from repro.sim.events import NORMAL, URGENT, Event
+from repro.sim.events import _PROCESSED, NORMAL, URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -39,7 +51,17 @@ class Process(Event):
     Do not instantiate directly; use :meth:`Simulator.process`.
     """
 
-    __slots__ = ("_generator", "_target", "_started", "name")
+    __slots__ = (
+        "_generator",
+        "_target",
+        "_started",
+        "_validated",
+        "_carriers",
+        "_resume_cb",
+        "_send",
+        "_throw",
+        "name",
+    )
 
     def __init__(
         self,
@@ -51,14 +73,24 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim)
         self._generator = generator
-        #: The event this process is currently waiting on (None when running
-        #: or finished).
-        self._target: Optional[Event] = None
         self._started = False
+        #: First yield of the generator gets the full isinstance/simulator
+        #: checks; later yields use the cheap fast path (see _resume).
+        self._validated = False
+        #: Interrupt carrier events scheduled but not yet delivered.
+        self._carriers: List[Event] = []
+        # Bound methods are cached once: creating a fresh bound-method
+        # object per yield/send is measurable on the hot path.
+        self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
-        # Kick the generator off at the current simulation time.
+        # Kick the generator off at the current simulation time.  The
+        # bootstrap doubles as the initial expected trigger so the first
+        # _resume passes the stale-trigger check.
         bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks.append(self._resume_cb)
+        self._target: Optional[Event] = bootstrap
         bootstrap.succeed()
 
     # -- public API --------------------------------------------------------
@@ -79,59 +111,101 @@ class Process(Event):
         Interrupting a finished process is an error; interrupting a process
         that is already scheduled to resume delivers the interrupt first.
         """
-        if self.triggered:
+        if self._state:
             raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
         # Detach from the event we were waiting on so its eventual firing
-        # does not resume us a second time.
-        if self._target is not None:
+        # does not resume us a second time.  The remove can fail when that
+        # event is dispatching right now (callbacks already snapshotted);
+        # the stale-trigger check in _resume covers that window.  The
+        # bootstrap of a not-yet-started process must stay attached: the
+        # generator has to start before it can catch the interrupt.
+        if self._started and self._target is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             self._target = None
         carrier = Event(self.sim)
-        carrier.callbacks.append(self._resume)
+        carrier.callbacks.append(self._resume_cb)
         carrier._state = 1  # triggered
         carrier._ok = False
         carrier._value = Interrupt(cause)
+        self._carriers.append(carrier)
         # A generator that has not started yet cannot catch a thrown
         # exception; deliver the interrupt at NORMAL priority so the
         # bootstrap (scheduled earlier) runs first.
         priority = URGENT if self._started else NORMAL
-        self.sim._schedule(carrier, delay=0.0, priority=priority)
+        self.sim._schedule(carrier, 0.0, priority)
 
     # -- kernel machinery ----------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the value/exception of ``trigger``."""
-        if self.triggered:
+        if self._state:
             # The process already finished (e.g. interrupted away from the
             # event that now fired); stale triggers are ignored.
             return
+        target = self._target
+        if trigger is target:
+            self._target = None
+        else:
+            carriers = self._carriers
+            if carriers and trigger in carriers:
+                carriers.remove(trigger)
+                if target is not None:
+                    # Interrupt overtook the wait: detach from the event
+                    # we were parked on (it may outlive us by a long time).
+                    try:
+                        target.callbacks.remove(self._resume_cb)
+                    except ValueError:
+                        pass
+                    self._target = None
+            else:
+                # Neither the current wait target nor a pending interrupt
+                # carrier: a stale wakeup from an event we already left.
+                return
         self._started = True
-        self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        send = self._send
+        throw = self._throw
+        resume_cb = self._resume_cb
+        validated = self._validated
+        sim._active_process = self
         try:
             while True:
-                if trigger.ok:
-                    yielded = self._generator.send(trigger.value)
+                if trigger._ok:
+                    yielded = send(trigger._value)
                 else:
-                    yielded = self._generator.throw(trigger.value)
-                if not isinstance(yielded, Event):
-                    raise TypeError(
-                        f"process {self.name!r} yielded {yielded!r}; "
-                        "processes may only yield Event instances"
-                    )
-                if yielded.sim is not self.sim:
-                    raise ValueError(
-                        f"process {self.name!r} yielded an event belonging to "
-                        "a different simulator"
-                    )
-                if yielded.processed:
+                    yielded = throw(trigger._value)
+                if validated:
+                    # Fast path: trust the generator after its first valid
+                    # yield; a non-event still surfaces as a TypeError via
+                    # the missing ``_state`` slot.
+                    try:
+                        state = yielded._state
+                    except AttributeError:
+                        raise TypeError(
+                            f"process {self.name!r} yielded {yielded!r}; "
+                            "processes may only yield Event instances"
+                        ) from None
+                else:
+                    if not isinstance(yielded, Event):
+                        raise TypeError(
+                            f"process {self.name!r} yielded {yielded!r}; "
+                            "processes may only yield Event instances"
+                        )
+                    if yielded.sim is not sim:
+                        raise ValueError(
+                            f"process {self.name!r} yielded an event belonging to "
+                            "a different simulator"
+                        )
+                    validated = self._validated = True
+                    state = yielded._state
+                if state == _PROCESSED:
                     # Already-fired event: loop and deliver immediately.
                     trigger = yielded
                     continue
-                yielded.callbacks.append(self._resume)
+                yielded.callbacks.append(resume_cb)
                 self._target = yielded
                 return
         except StopIteration as stop:
@@ -142,7 +216,7 @@ class Process(Event):
             # The generator died: fail the process event so waiters see it.
             self.fail(exc)
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
     def __repr__(self) -> str:
         status = "alive" if self.is_alive else "finished"

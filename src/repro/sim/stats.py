@@ -62,11 +62,13 @@ class RunningStat:
 
     @property
     def min(self) -> float:
-        return self._min if self._count else 0.0
+        """Smallest sample; NaN while empty (0.0 would read as a measurement)."""
+        return self._min if self._count else math.nan
 
     @property
     def max(self) -> float:
-        return self._max if self._count else 0.0
+        """Largest sample; NaN while empty (0.0 would read as a measurement)."""
+        return self._max if self._count else math.nan
 
     def __repr__(self) -> str:
         return (
@@ -200,13 +202,18 @@ class Histogram:
         return [self.low + i * self._width for i in range(self.bins + 1)]
 
     def quantile(self, q: float) -> float:
-        """Approximate in-range quantile (bin upper edge); 0 <= q <= 1."""
+        """Approximate in-range quantile (bin upper edge); 0 <= q <= 1.
+
+        ``q=0`` is the distribution's floor and always reports ``low``:
+        walking the bins with a ``cumulative >= 0`` test would return the
+        first bin's upper edge even when that bin is empty.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         in_range = sum(self.counts)
-        if in_range == 0:
-            return self.low
         target = q * in_range
+        if in_range == 0 or target == 0.0:
+            return self.low
         cumulative = 0
         for i, count in enumerate(self.counts):
             cumulative += count

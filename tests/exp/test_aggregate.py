@@ -276,12 +276,14 @@ class TestMergeMetricSnapshots:
         assert merged["p50"] == 2.0  # weighted as a quantile
         assert "peak" not in merged  # not mangled into a fake quantile
 
-    def test_all_zero_count_histograms_have_finite_min_max(self):
-        # Regression: min/max must close to 0, not leak the ±inf seeds.
+    def test_all_zero_count_histograms_have_nan_min_max(self):
+        # Regression: min/max of nothing is NaN (serialised as null), not
+        # the ±inf seeds and not a fake 0.0 measurement.
         empty = {"h": {"count": 0, "mean": 0.0, "p50": 0.0}}
         merged = merge_metric_snapshots([empty, empty])["h"]
         assert merged["count"] == 0
-        assert (merged["min"], merged["max"]) == (0.0, 0.0)
+        assert math.isnan(merged["min"])
+        assert math.isnan(merged["max"])
         assert merged["mean"] == 0.0
         assert merged["p50"] == 0.0
-        assert all(math.isfinite(v) for v in merged.values())
+        assert not any(math.isinf(v) for v in merged.values())

@@ -93,12 +93,12 @@ class TestStreamingHistogram:
         assert histogram.min == 2.0
         assert histogram.max == 6.0
 
-    def test_empty_histogram_reports_zero(self):
+    def test_empty_histogram_min_max_are_nan(self):
         histogram = StreamingHistogram("dwell")
         assert histogram.count == 0
         assert histogram.mean == 0.0
-        assert histogram.min == 0.0
-        assert histogram.max == 0.0
+        assert math.isnan(histogram.min)
+        assert math.isnan(histogram.max)
         assert histogram.quantile(0.5) == 0.0
 
     def test_untracked_quantile_raises(self):

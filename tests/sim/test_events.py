@@ -159,3 +159,35 @@ def test_condition_rejects_foreign_events():
     sim_a, sim_b = Simulator(), Simulator()
     with pytest.raises(ValueError):
         sim_a.any_of([sim_b.event()])
+
+
+def test_condition_detaches_from_losing_sub_events():
+    """A long-lived event raced against many timeouts must not accumulate
+    dead callbacks from conditions that already fired (soak regression)."""
+    sim = Simulator()
+    shutdown = sim.event()
+
+    def racer(sim):
+        for _ in range(50):
+            yield sim.any_of([sim.timeout(0.001), shutdown])
+
+    sim.process(racer(sim))
+    sim.run(until=1.0)
+    assert len(shutdown.callbacks) <= 1
+
+
+def test_all_of_detaches_after_failure():
+    sim = Simulator()
+    lives_on = sim.event()
+    doomed = sim.event()
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([doomed, lives_on])
+        except RuntimeError:
+            pass
+
+    sim.process(waiter(sim))
+    doomed.fail(RuntimeError("boom"))
+    sim.run(until=1.0)
+    assert lives_on.callbacks == []

@@ -159,3 +159,58 @@ def test_two_processes_interleave_deterministically():
         (4.0, "slow"),
         (4.0, "fast"),
     ]
+
+
+def test_same_tick_interrupt_is_not_double_delivered():
+    """An interrupt fired while the waited-on event is already dispatching
+    must not let the victim resume from that event *and* receive the
+    Interrupt later against a different wait."""
+    sim = Simulator()
+    log = []
+    evt = sim.event()
+
+    def attacker(sim):
+        yield evt
+        victim_proc.interrupt("race")
+
+    def victim(sim):
+        try:
+            value = yield evt
+            log.append(("resumed", value, sim.now))
+            yield sim.timeout(5.0)
+            log.append(("slept", sim.now))
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, sim.now))
+
+    # The attacker subscribes to ``evt`` first, so during the event's
+    # dispatch it interrupts the victim before the victim's own resume
+    # callback runs — the victim's detach from ``evt`` comes too late
+    # because the callback list has already been snapshotted.
+    sim.process(attacker(sim))
+    victim_proc = sim.process(victim(sim))
+    evt.succeed("payload", delay=1.0)
+    sim.run()
+    assert log == [("interrupted", "race", 1.0)]
+
+
+def test_interrupts_queued_before_resume_all_deliver():
+    """Two interrupts issued back-to-back both reach the generator."""
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+    def attacker(sim, proc):
+        yield sim.timeout(1.0)
+        proc.interrupt("first")
+        proc.interrupt("second")
+
+    proc = sim.process(victim(sim))
+    sim.process(attacker(sim, proc))
+    sim.run(until=10.0)
+    assert log == [(1.0, "first"), (1.0, "second")]

@@ -148,3 +148,45 @@ class TestTimeSeries:
     def test_last_on_empty_raises(self):
         with pytest.raises(IndexError):
             TimeSeries().last()
+
+
+class TestEdgeQuantiles:
+    def test_quantile_zero_returns_low(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(5.0)
+        assert hist.quantile(0.0) == 0.0
+
+    def test_quantile_zero_with_leading_empty_bins(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(9.5)
+        # q=0 must not report the (empty) first bin's upper edge.
+        assert hist.quantile(0.0) == 0.0
+
+    def test_quantile_one_returns_last_occupied_edge(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(5.0)
+        assert hist.quantile(1.0) == 6.0
+
+    def test_interior_quantile_skips_leading_empty_bins(self):
+        hist = Histogram(0.0, 10.0, bins=10)
+        hist.add(7.5)
+        hist.add(7.5)
+        assert hist.quantile(0.5) == 8.0
+
+    def test_empty_histogram_quantile_is_low(self):
+        assert Histogram(2.0, 10.0, bins=4).quantile(0.5) == 2.0
+
+
+class TestEmptyRunningStat:
+    def test_empty_min_max_are_nan(self):
+        import math
+
+        stat = RunningStat()
+        assert math.isnan(stat.min)
+        assert math.isnan(stat.max)
+
+    def test_min_max_after_one_sample(self):
+        stat = RunningStat()
+        stat.add(-3.5)
+        assert stat.min == -3.5
+        assert stat.max == -3.5
