@@ -1,6 +1,6 @@
-"""Gate CI on a kernel-throughput record from ``bench_kernel.py``.
+"""Gate CI on a bench record from ``bench_kernel.py`` or ``bench_shard.py``.
 
-Two checks, both against ``BENCH_kernel.json``:
+For kernel records (``"bench": "kernel"``), two checks:
 
 - **floor** — every scenario point must clear ``--min-events-per-s``
   wall-clock events/s (or its entry in ``SCENARIO_FLOORS``, whichever
@@ -10,6 +10,16 @@ Two checks, both against ``BENCH_kernel.json``:
 - **baseline** (optional) — with ``--baseline FILE``, every point must
   reach ``--tolerance`` times the matching scenario's events/s in the
   older record.  For local before/after comparisons; CI uses the floor.
+
+For shard records (``"bench": "shard"``):
+
+- **identity** — every point must report byte-identical merged payloads
+  across shard counts.  This is unconditional: determinism does not
+  depend on the machine.
+- **speedup** — gate points (``"gate": true``) must reach
+  ``--min-speedup`` over ``shards=1``, enforced only when the recording
+  machine had >= 4 CPUs; a single-core container cannot exhibit
+  parallel speedup, so the check degrades to a visible skip there.
 
 Exit status 0 = pass, 1 = regression, 2 = unusable record.
 """
@@ -32,18 +42,57 @@ SCENARIO_FLOORS = {
 }
 
 
-def load_points(path):
+def load_payload(path):
     try:
         with open(path, encoding="utf-8") as stream:
             payload = json.load(stream)
-        points = payload["points"]
+        payload["points"]
     except (OSError, json.JSONDecodeError, KeyError) as exc:
         print(f"check_bench: unusable record {path}: {exc}", file=sys.stderr)
         sys.exit(2)
-    if not points:
+    if not payload["points"]:
         print(f"check_bench: {path} has no points", file=sys.stderr)
         sys.exit(2)
-    return {p["scenario"]: p for p in points}
+    return payload
+
+
+def load_points(path):
+    return {p["scenario"]: p for p in load_payload(path)["points"]}
+
+
+def check_shard(payload, min_speedup):
+    """Identity always; speedup only where the hardware can show it."""
+    cpus = payload.get("cpu_count") or 0
+    failures = []
+    for point in payload["points"]:
+        name = point.get("scenario", "?")
+        if point.get("sim_events", 0) <= 0:
+            failures.append(f"{name}: scheduled no events")
+            continue
+        if not point.get("identical"):
+            failures.append(
+                f"{name}: merged payloads differ across shard counts"
+            )
+            continue
+        speedup = point.get("speedup", 0.0)
+        if point.get("gate") and cpus >= 4:
+            if speedup < min_speedup:
+                failures.append(
+                    f"{name}: {speedup:.2f}x speedup under the "
+                    f"{min_speedup:.1f}x gate ({cpus} CPUs)"
+                )
+                continue
+        elif point.get("gate"):
+            print(
+                f"check_bench: {name}: speedup gate skipped "
+                f"({cpus} CPU(s) < 4); identity held at {speedup:.2f}x"
+            )
+            continue
+        print(
+            f"check_bench: {name}: byte-identical across shards, "
+            f"{speedup:.2f}x speedup"
+        )
+    return failures
 
 
 def main(argv=None):
@@ -70,9 +119,27 @@ def main(argv=None):
         help="with --baseline: minimum fraction of the baseline events/s "
         "each scenario must reach (default: 0.5)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="shard records: speedup gate points must reach over shards=1 "
+        "on machines with >= 4 CPUs (default: 2.0)",
+    )
     args = parser.parse_args(argv)
 
-    points = load_points(args.record)
+    payload = load_payload(args.record)
+    if payload.get("bench") == "shard":
+        failures = check_shard(payload, args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"check_bench: FAIL {failure}", file=sys.stderr)
+            return 1
+        print(f"check_bench: all {len(payload['points'])} shard point(s) pass")
+        return 0
+
+    points = {p["scenario"]: p for p in payload["points"]}
     failures = []
     for name, point in sorted(points.items()):
         rate = point.get("events_per_s", 0.0)

@@ -59,7 +59,7 @@ out = subprocess.run(
 entries = {e["name"]: e for e in json.loads(out)}
 expected = {
     "hotspot", "faulty-hotspot", "unscheduled", "psm-baseline",
-    "fleet-hotspot",
+    "psm-crossval", "fleet-hotspot", "city-grid",
 }
 missing = expected - set(entries)
 if missing:
@@ -198,15 +198,50 @@ print(f"fleet ok: {record['handoffs']} handoffs across "
       f"{record['n_aps']} cells, QoS held, {served} bursts served")
 EOF
 
+echo "== sharded fleet smoke check (shards=1 vs shards=4 byte-identical) =="
+shard_a="$(mktemp -d /tmp/repro-shard-a.XXXXXX)"
+shard_b="$(mktemp -d /tmp/repro-shard-b.XXXXXX)"
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$shard_a" "$shard_b"' EXIT
+shard_args=(fleet --clients 8 --aps 4 --duration 20 --json)
+python -m repro "${shard_args[@]}" --shards 1 --store "$shard_a" \
+  > "$shard_a/out.json"
+python -m repro "${shard_args[@]}" --shards 4 --store "$shard_b" \
+  > "$shard_b/out.json"
+diff "$shard_a/out.json" "$shard_b/out.json" \
+  || { echo "shard smoke: shards=1 vs shards=4 records differ"; exit 1; }
+diff "$shard_a/merged.json" "$shard_b/merged.json" \
+  || { echo "shard smoke: merged stores differ"; exit 1; }
+diff -r "$shard_a/shards" "$shard_b/shards" \
+  || { echo "shard smoke: per-cell partials differ"; exit 1; }
+python - "$shard_a/out.json" <<'EOF'
+import json
+import sys
+
+record = json.load(open(sys.argv[1]))
+if record["handoffs"] < 1:
+    sys.exit("shard smoke: no cross-shard roams in 20 s")
+if not record["qos_maintained"]:
+    sys.exit("shard smoke: QoS lost during sharded roaming")
+print(f"shard ok: {record['handoffs']} cross-shard handoffs, "
+      "1==4 workers byte-identical")
+EOF
+
 echo "== kernel perf gate =="
 bench_dir="$(mktemp -d /tmp/repro-bench.XXXXXX)"
 report_dir="$(mktemp -d /tmp/repro-report.XXXXXX)"
-trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$bench_dir" "$report_dir"' EXIT
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$shard_a" "$shard_b" "$bench_dir" "$report_dir"' EXIT
 # Short simulated stretch: the gate measures kernel wall-clock
 # throughput, which is independent of how long the scenario runs.
 python benchmarks/bench_kernel.py --duration 5 --out "$bench_dir/BENCH_kernel.json" \
   > /dev/null
 python scripts/check_bench.py "$bench_dir/BENCH_kernel.json"
+
+echo "== shard scaling gate =="
+# The 1k-client gate point, trimmed: identity is enforced everywhere,
+# the 2x speedup only where the machine has >= 4 CPUs.
+python benchmarks/bench_shard.py --point city-grid-1k --duration 5 \
+  --out "$bench_dir/BENCH_shard.json" > /dev/null
+python scripts/check_bench.py "$bench_dir/BENCH_shard.json"
 
 echo "== report smoke check =="
 python -m repro campaign --scenario hotspot \
@@ -257,7 +292,7 @@ echo "== crossval smoke check (sim-vs-model agreement gate) =="
 crossval_dir="$(mktemp -d /tmp/repro-crossval.XXXXXX)"
 surrogate_a="$(mktemp -d /tmp/repro-surrogate-a.XXXXXX)"
 surrogate_b="$(mktemp -d /tmp/repro-surrogate-b.XXXXXX)"
-trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$bench_dir" "$report_dir" "$crossval_dir" "$surrogate_a" "$surrogate_b"' EXIT
+trap 'rm -f "$trace_file"; rm -rf "$campaign_dir" "$serial_dir" "$failure_dir" "$faulty_dir" "$fleet_dir" "$shard_a" "$shard_b" "$bench_dir" "$report_dir" "$crossval_dir" "$surrogate_a" "$surrogate_b"' EXIT
 # Coarse grid, trimmed durations: the closed-form models must agree
 # with the simulator inside the 10% tolerance contract, or the command
 # exits non-zero and fails the gate.

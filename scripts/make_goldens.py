@@ -50,9 +50,21 @@ GOLDEN_CONFIGS = {
         "n_clients": 2,
         "duration_s": 15.0,
     },
+    "psm-crossval": {
+        "n_clients": 2,
+        "duration_s": 10.0,
+        "offered_load_bps": 96_000.0,
+        "listen_interval": 2,
+    },
     "fleet-hotspot": {
         "n_clients": 8,
         "n_aps": 3,
+        "duration_s": 20.0,
+    },
+    "city-grid": {
+        "n_clients": 12,
+        "grid_rows": 2,
+        "grid_cols": 2,
         "duration_s": 20.0,
     },
 }

@@ -600,22 +600,117 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fleet(args: argparse.Namespace) -> int:
-    """Run the multi-AP fleet scenario and summarise roaming + energy."""
-    from repro.net import run_fleet_hotspot_scenario
+def _parse_grid(value: str) -> tuple:
+    try:
+        rows, cols = value.lower().split("x")
+        rows, cols = int(rows), int(cols)
+    except ValueError:
+        raise SystemExit(f"--grid expects ROWSxCOLS (e.g. 3x3), got {value!r}")
+    if rows < 1 or cols < 1:
+        raise SystemExit("--grid dimensions must be >= 1")
+    return rows, cols
 
-    obs = ObsSession.from_args(args)
-    if obs is not None:
-        obs.begin_run("fleet/fleet-hotspot")
-    result = run_fleet_hotspot_scenario(
+
+def _fleet_spec_from_args(args: argparse.Namespace):
+    from repro.build.presets import city_grid_world, fleet_hotspot_world
+
+    if args.grid:
+        rows, cols = _parse_grid(args.grid)
+        return city_grid_world(
+            n_clients=args.clients,
+            grid_rows=rows,
+            grid_cols=cols,
+            duration_s=args.duration,
+            scheduler=args.scheduler,
+            utilisation_cap=args.utilisation_cap,
+            seed=args.seed,
+        )
+    return fleet_hotspot_world(
         n_clients=args.clients,
         n_aps=args.aps,
         duration_s=args.duration,
         scheduler=args.scheduler,
         utilisation_cap=args.utilisation_cap,
         seed=args.seed,
-        obs=obs,
     )
+
+
+def _cmd_fleet_sharded(args: argparse.Namespace) -> int:
+    from repro.shard import run_sharded_fleet
+
+    spec = _fleet_spec_from_args(args)
+    merged = run_sharded_fleet(
+        spec,
+        shards=args.shards,
+        store_dir=args.store,
+        metrics=bool(args.metrics),
+    )
+    record = merged["record"]
+    if args.json:
+        print(dumps_strict(record, indent=2))
+        return 0
+    cell_rows = [
+        [name, stats["clients"], stats["adoptions"], stats["load_fraction"],
+         stats["bursts_served"], stats["bursts_failed"]]
+        for name, stats in record["cells"].items()
+    ]
+    print(
+        format_table(
+            ["cell", "clients", "adoptions", "load", "bursts", "failed"],
+            cell_rows,
+            title=f"Sharded fleet {record['label']} "
+            f"({record['n_aps']} APs, {record['n_clients']} clients, "
+            f"{record['duration_s']:.0f}s, {args.shards} shard(s))",
+        )
+    )
+    print(
+        f"\nhandoffs: {record['handoffs']} "
+        f"(declined {record['handoffs_declined']}, "
+        f"suspended {record['handoff_suspensions']}), "
+        f"association churn: {record['association_churn']}"
+    )
+    print(
+        f"mean WNIC power: {record['wnic_power_w']:.4f} W, "
+        f"QoS maintained: {record['qos_maintained']}"
+    )
+    if args.store:
+        print(f"store: {args.store} (merged.json, shards/, progress.jsonl)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the multi-AP fleet scenario and summarise roaming + energy."""
+    from repro.net import run_city_grid_scenario, run_fleet_hotspot_scenario
+
+    if args.shards:
+        return _cmd_fleet_sharded(args)
+    obs = ObsSession.from_args(args)
+    if args.grid:
+        rows, cols = _parse_grid(args.grid)
+        if obs is not None:
+            obs.begin_run("fleet/city-grid")
+        result = run_city_grid_scenario(
+            n_clients=args.clients,
+            grid_rows=rows,
+            grid_cols=cols,
+            duration_s=args.duration,
+            scheduler=args.scheduler,
+            utilisation_cap=args.utilisation_cap,
+            seed=args.seed,
+            obs=obs,
+        )
+    else:
+        if obs is not None:
+            obs.begin_run("fleet/fleet-hotspot")
+        result = run_fleet_hotspot_scenario(
+            n_clients=args.clients,
+            n_aps=args.aps,
+            duration_s=args.duration,
+            scheduler=args.scheduler,
+            utilisation_cap=args.utilisation_cap,
+            seed=args.seed,
+            obs=obs,
+        )
     if obs is not None:
         obs.record(result)
     extras = result.extras
@@ -633,7 +728,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             ["cell", "clients", "adoptions", "load", "bursts", "failed"],
             cell_rows,
             title=f"Fleet {result.label} "
-            f"({args.aps} APs, {args.clients} clients, {args.duration:.0f}s)",
+            f"({extras['n_aps']} APs, {args.clients} clients, "
+            f"{args.duration:.0f}s)",
         )
     )
     print(
@@ -1076,6 +1172,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.9,
         help="admission-control utilisation cap per cell channel",
+    )
+    fleet.add_argument(
+        "--grid",
+        metavar="ROWSxCOLS",
+        help="use a ROWSxCOLS city-grid deployment (e.g. 3x3) instead of "
+        "the linear corridor; overrides --aps",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="space-parallel sharded run: partition the cells across N "
+        "worker processes synchronised at epoch barriers (repro.shard); "
+        "0 = classic single-kernel run",
+    )
+    fleet.add_argument(
+        "--store",
+        metavar="DIR",
+        help="(with --shards) write per-cell partials, merged.json and "
+        "progress.jsonl heartbeats to DIR",
     )
     scenarios_parser = sub.add_parser(
         "scenarios",

@@ -294,6 +294,41 @@ def _scheduler_label(scheduler) -> str:
     return scheduler if isinstance(scheduler, str) else scheduler.name
 
 
+def fleet_floor_plan(fleet_spec):
+    """The deployment's topology and arena rectangle, from the spec alone.
+
+    Shared by the fleet delivery mode and the shard planner
+    (:mod:`repro.shard`), which must agree byte-for-byte on site
+    placement for cell ownership to be a pure function of the spec.
+    """
+    from repro.net.topology import grid_deployment, linear_deployment
+
+    if fleet_spec.deployment == "grid":
+        topology = grid_deployment(
+            fleet_spec.grid_rows,
+            fleet_spec.grid_cols,
+            spacing_m=fleet_spec.ap_spacing_m,
+        )
+        arena = (
+            (0.0, 0.0),
+            (
+                fleet_spec.grid_cols * fleet_spec.ap_spacing_m,
+                fleet_spec.grid_rows * fleet_spec.ap_spacing_m,
+            ),
+        )
+    else:
+        topology = linear_deployment(
+            fleet_spec.n_aps,
+            spacing_m=fleet_spec.ap_spacing_m,
+            y_m=fleet_spec.arena_depth_m / 2.0,
+        )
+        arena = (
+            (0.0, 0.0),
+            (fleet_spec.n_aps * fleet_spec.ap_spacing_m, fleet_spec.arena_depth_m),
+        )
+    return topology, arena
+
+
 # -- delivery modes ------------------------------------------------------------
 
 
@@ -569,17 +604,12 @@ class _FleetMode(_DeliveryMode):
         from repro.net.association import AssociationManager
         from repro.net.fleet import FleetCoordinator
         from repro.net.handoff import HandoffController
-        from repro.net.topology import linear_deployment
         from repro.phy.mobility import RandomWaypoint
 
         spec = world.spec
         fleet_spec = spec.fleet
         sim = world.sim
-        world.topology = linear_deployment(
-            fleet_spec.n_aps,
-            spacing_m=fleet_spec.ap_spacing_m,
-            y_m=fleet_spec.arena_depth_m / 2.0,
-        )
+        world.topology, arena = fleet_floor_plan(fleet_spec)
         world.association = AssociationManager(sim, world.topology)
         world.fleet = FleetCoordinator(
             sim,
@@ -601,10 +631,6 @@ class _FleetMode(_DeliveryMode):
             hysteresis_margin=fleet_spec.hysteresis_margin,
             min_dwell_s=fleet_spec.min_dwell_s,
             latency_range_s=fleet_spec.handoff_latency_range_s,
-        )
-        arena = (
-            (0.0, 0.0),
-            (fleet_spec.n_aps * fleet_spec.ap_spacing_m, fleet_spec.arena_depth_m),
         )
         for node in spec.clients:
             mobility = RandomWaypoint(

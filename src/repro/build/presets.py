@@ -288,6 +288,60 @@ def psm_crossval_world(
     )
 
 
+def city_grid_world(
+    n_clients: int = 54,
+    grid_rows: int = 3,
+    grid_cols: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler="edf",
+    burst_bytes: int = 80_000,
+    client_buffer_bytes: int = 192_000,
+    ap_spacing_m: float = 50.0,
+    epoch_s: float = 0.25,
+    utilisation_cap: float = 0.9,
+    seed: int = 0,
+    platform=None,
+    server_prefetch_s: float = 30.0,
+    label: Optional[str] = None,
+) -> WorldSpec:
+    """A city block of WLAN hotspot cells on a square grid.
+
+    The shard-scale deployment: WLAN-only clients (no per-client
+    Bluetooth beacon load, so 10k-client populations stay tractable)
+    roaming a ``grid_rows x grid_cols`` lattice of cells.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    scheduler_name = scheduler if isinstance(scheduler, str) else scheduler.name
+    return WorldSpec(
+        delivery="fleet",
+        duration_s=duration_s,
+        seed=seed,
+        label=label or f"city-grid[{scheduler_name}]",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("wlan")],
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+            buffer_bytes=client_buffer_bytes,
+            prefetch_s=server_prefetch_s,
+        ),
+        scheduler=scheduler,
+        epoch_s=epoch_s,
+        min_burst_bytes=min(burst_bytes, client_buffer_bytes),
+        utilisation_cap=utilisation_cap,
+        platform=platform,
+        fleet=FleetSpec(
+            deployment="grid",
+            grid_rows=grid_rows,
+            grid_cols=grid_cols,
+            ap_spacing_m=ap_spacing_m,
+        ),
+    )
+
+
 def fleet_hotspot_world(
     n_clients: int = 24,
     n_aps: int = 4,

@@ -177,11 +177,20 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class FleetSpec:
-    """Multi-AP extension: corridor topology, mobility and handoff."""
+    """Multi-AP extension: topology, mobility and handoff.
+
+    ``deployment`` picks the floor plan: ``"linear"`` is the canonical
+    corridor of ``n_aps`` cells; ``"grid"`` is a ``grid_rows x
+    grid_cols`` city block (``n_aps`` is then derived as their product
+    and the arena depth follows the grid height).
+    """
 
     n_aps: int = 4
     ap_spacing_m: float = 50.0
     arena_depth_m: float = 30.0
+    deployment: str = "linear"
+    grid_rows: int = 0
+    grid_cols: int = 0
     speed_range_m_s: Tuple[float, float] = (0.5, 2.0)
     pause_range_s: Tuple[float, float] = (0.0, 5.0)
     coverage_threshold: float = 0.05
@@ -193,6 +202,17 @@ class FleetSpec:
     load_aware_selection: bool = True
 
     def __post_init__(self) -> None:
+        if self.deployment not in ("linear", "grid"):
+            raise ValueError(
+                f"unknown deployment {self.deployment!r}; known: linear, grid"
+            )
+        if self.deployment == "grid":
+            if self.grid_rows < 1 or self.grid_cols < 1:
+                raise ValueError("grid deployment needs rows >= 1 and cols >= 1")
+            object.__setattr__(self, "n_aps", self.grid_rows * self.grid_cols)
+            object.__setattr__(
+                self, "arena_depth_m", self.grid_rows * self.ap_spacing_m
+            )
         if self.n_aps < 1:
             raise ValueError("need at least one access point")
         if self.arena_depth_m <= 0:
@@ -210,6 +230,9 @@ class FleetSpec:
             "n_aps": self.n_aps,
             "ap_spacing_m": self.ap_spacing_m,
             "arena_depth_m": self.arena_depth_m,
+            "deployment": self.deployment,
+            "grid_rows": self.grid_rows,
+            "grid_cols": self.grid_cols,
             "speed_range_m_s": list(self.speed_range_m_s),
             "pause_range_s": list(self.pause_range_s),
             "coverage_threshold": self.coverage_threshold,

@@ -82,6 +82,11 @@ class HotspotClient:
         )
         self.bursts_received = 0
         self.bytes_received = 0
+        #: Bursts scheduled but not yet finished (incremented before the
+        #: burst process first runs — an ``is_asleep`` check alone misses
+        #: a burst created at the current instant whose wake-up has not
+        #: started yet).  The shard layer requires 0 before migrating.
+        self.bursts_in_flight = 0
         #: (time, interface, nbytes) burst log for timelines.
         self.burst_log: List[Tuple[float, str, int]] = []
         self._start_time = sim.now
@@ -141,12 +146,20 @@ class HotspotClient:
             )
         if nbytes <= 0:
             raise ValueError("burst must be positive")
+        self.bursts_in_flight += 1
         return self.sim.process(
             self._burst_body(interface_name, nbytes),
             name=f"{self.name}-burst",
         )
 
     def _burst_body(self, interface_name: str, nbytes: int):
+        try:
+            result = yield from self._burst_steps(interface_name, nbytes)
+        finally:
+            self.bursts_in_flight -= 1
+        return result
+
+    def _burst_steps(self, interface_name: str, nbytes: int):
         interface = self.interfaces[interface_name]
         if not interface.alive:
             # The WNIC died between scheduling and service: report zero

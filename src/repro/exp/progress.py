@@ -22,6 +22,13 @@ Record shapes (one JSON object per line)::
      "key": ..., "scenario": ..., "label": ..., "outcome": "ok",
      "wall_time_s": ..., "sim_events": ..., "events_per_second": ...,
      "worker": ...}                      # + "error_type" when "failed"
+    {"t": ..., "kind": "shard", "campaign": ..., "label": ..., "shard": ...,
+     "shards": ..., "cells": ..., "clients": ..., "barrier": ...,
+     "barriers": ..., "sim_time_s": ..., "sim_events": ...,
+     "wall_time_s": ..., "events_per_second": ...}
+
+``events_per_second`` is ``null`` whenever ``wall_time_s`` is 0 (cache
+hits and sub-clock-resolution runs have no defined throughput).
     {"t": ..., "kind": "campaign-end", "campaign": ..., "cached": ...,
      "executed": ..., "failed": ..., "wall_time_s": ...}
 
@@ -32,6 +39,7 @@ heartbeat too — zero wall time, so resume throughput is attributable).
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -130,17 +138,28 @@ class CampaignProgress:
         outcome: str,
         wall_time_s: float = 0.0,
         sim_events: int = 0,
-        events_per_second: float = 0.0,
+        events_per_second: Optional[float] = 0.0,
         worker: str = "main",
         error_type: Optional[str] = None,
     ) -> None:
-        """Record one settled run; ``run`` is a :class:`~repro.exp.spec.RunSpec`."""
+        """Record one settled run; ``run`` is a :class:`~repro.exp.spec.RunSpec`.
+
+        ``events_per_second`` is undefined when ``wall_time_s`` is zero
+        (cache hits, sub-clock-resolution runs): the heartbeat then
+        carries ``null`` rather than a fake 0.0 — or an ``inf`` from a
+        caller dividing by the zero — so throughput charts can drop the
+        sample instead of plotting it.
+        """
         if outcome == "ok":
             self.ok += 1
         elif outcome == "failed":
             self.failed += 1
         else:
             self.cached += 1
+        if wall_time_s <= 0 or events_per_second is None or not (
+            -math.inf < events_per_second < math.inf
+        ):
+            events_per_second = None
         if self.log is not None:
             fields: Dict[str, Any] = {
                 "index": run.index,

@@ -29,7 +29,7 @@ from repro.core.scenario import (
     run_psm_crossval_scenario,
     run_unscheduled_scenario,
 )
-from repro.net.scenario import run_fleet_hotspot_scenario
+from repro.net.scenario import run_city_grid_scenario, run_fleet_hotspot_scenario
 
 ScenarioFn = Callable[..., object]
 
@@ -183,6 +183,7 @@ def _register_builtins() -> None:
     # Spec factories imported lazily: repro.build imports repro.core and
     # repro.net, both of which may be mid-import when this module loads.
     from repro.build.presets import (
+        city_grid_world,
         faulty_hotspot_world,
         fleet_hotspot_world,
         hotspot_world,
@@ -205,6 +206,7 @@ def _register_builtins() -> None:
     register_scenario(
         "fleet-hotspot", run_fleet_hotspot_scenario, fleet_hotspot_world
     )
+    register_scenario("city-grid", run_city_grid_scenario, city_grid_world)
 
 
 _register_builtins()

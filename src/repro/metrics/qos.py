@@ -166,6 +166,58 @@ class PlayoutBuffer:
         """Seconds of playback currently in the buffer."""
         return self.level_bytes / self.drain_rate_Bps
 
+    # -- migration (repro.shard) -------------------------------------------
+
+    def snapshot_state(self, time_s: float) -> dict:
+        """Portable playback state at ``time_s`` (drains up to it first).
+
+        Everything a peer simulator needs to resume this buffer exactly
+        where it left off — level, playback/suspension flags and underrun
+        accounting — as plain JSON-able scalars.  ``level_trace`` stays
+        behind on purpose: it is a plotting aid, not playback state.
+        """
+        self._advance(time_s)
+        summary = self.summary
+        return {
+            "level_bytes": self.level_bytes,
+            "playing": self.playing,
+            "suspended": self.suspended,
+            "was_playing": self._was_playing,
+            "started_at_s": self.started_at_s,
+            "last_time": self._last_time,
+            "underrun_since": self._underrun_since,
+            "overflow_bytes": self.overflow_bytes,
+            "underruns": summary.underruns,
+            "underrun_time_s": summary.underrun_time_s,
+            "deliveries": summary.deliveries,
+            "bytes_delivered": summary.bytes_delivered,
+            "deadline_misses": summary.deadline_misses,
+            "max_lateness_s": summary.max_lateness_s,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` payload into this buffer.
+
+        Meant for a freshly built buffer with the same drain rate,
+        prebuffer and capacity as the snapshotted one; afterwards the
+        buffer behaves as if every past delivery had happened here.
+        """
+        self.level_bytes = state["level_bytes"]
+        self.playing = state["playing"]
+        self.suspended = state["suspended"]
+        self._was_playing = state["was_playing"]
+        self.started_at_s = state["started_at_s"]
+        self._last_time = state["last_time"]
+        self._underrun_since = state["underrun_since"]
+        self.overflow_bytes = state["overflow_bytes"]
+        summary = self.summary
+        summary.underruns = state["underruns"]
+        summary.underrun_time_s = state["underrun_time_s"]
+        summary.deliveries = state["deliveries"]
+        summary.bytes_delivered = state["bytes_delivered"]
+        summary.deadline_misses = state["deadline_misses"]
+        summary.max_lateness_s = state["max_lateness_s"]
+
 
 class DeadlineTracker:
     """Per-delivery deadline accounting for deadline-based QoS contracts."""

@@ -18,13 +18,14 @@ walkers), registered as ``fleet-hotspot`` in :mod:`repro.exp.scenarios`.
 from repro.net.association import AssociationManager
 from repro.net.fleet import DEFAULT_CAPACITY_BPS, Cell, FleetCoordinator
 from repro.net.handoff import HandoffController
-from repro.net.scenario import run_fleet_hotspot_scenario
+from repro.net.scenario import run_city_grid_scenario, run_fleet_hotspot_scenario
 from repro.net.topology import (
     BLUETOOTH_LINK_BUDGET,
     WLAN_LINK_BUDGET,
     AccessPointSite,
     LinkBudget,
     Topology,
+    grid_deployment,
     linear_deployment,
 )
 
@@ -39,6 +40,8 @@ __all__ = [
     "LinkBudget",
     "Topology",
     "WLAN_LINK_BUDGET",
+    "grid_deployment",
     "linear_deployment",
+    "run_city_grid_scenario",
     "run_fleet_hotspot_scenario",
 ]

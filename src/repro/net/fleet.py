@@ -76,6 +76,13 @@ class FleetCoordinator:
         Minimum cell quality for a site to be an admission candidate.
     gauge_interval_s:
         Period of the per-cell utilisation gauge emission (0 disables).
+    owned_sites:
+        When given, only these sites get a local :class:`Cell`; the rest
+        of the topology stays visible as pure data (coverage, steering
+        targets) but has no server here.  This is how :mod:`repro.shard`
+        decomposes a fleet into per-cell worlds: each world owns exactly
+        its own cells, and a roam towards a cell it does not own becomes
+        a cross-shard departure instead of a local adoption.
     server_kwargs:
         Passed to every cell's :class:`HotspotServer` (scheduler,
         epoch_s, min_burst_bytes, utilisation_cap, ...).
@@ -89,6 +96,7 @@ class FleetCoordinator:
         capacity_bps: Optional[Dict[str, float]] = None,
         coverage_threshold: float = 0.05,
         gauge_interval_s: float = 5.0,
+        owned_sites: Optional[List[str]] = None,
         **server_kwargs,
     ) -> None:
         if not 0.0 <= coverage_threshold <= 1.0:
@@ -106,9 +114,17 @@ class FleetCoordinator:
         self.capacity_bps = dict(capacity_bps or DEFAULT_CAPACITY_BPS)
         self.coverage_threshold = coverage_threshold
         self.gauge_interval_s = gauge_interval_s
+        if owned_sites is None:
+            sites = list(topology)
+        else:
+            by_name = {site.name: site for site in topology}
+            missing = sorted(set(owned_sites) - set(by_name))
+            if missing:
+                raise KeyError(f"owned sites not in topology: {missing}")
+            sites = [by_name[name] for name in sorted(set(owned_sites))]
         self.cells: Dict[str, Cell] = {
             site.name: Cell(site, HotspotServer(sim, **server_kwargs))
-            for site in topology
+            for site in sites
         }
         #: Session objects by client, held across handoffs (shared with
         #: whichever server currently schedules the client).
@@ -128,9 +144,13 @@ class FleetCoordinator:
             ) from None
 
     def cell_of(self, client_name: str) -> Optional[Cell]:
-        """The cell a client is associated with (None if unattached)."""
+        """The local cell a client is associated with, if any.
+
+        None when unattached *or* when the association points at a site
+        another shard's world owns (mid cross-shard migration).
+        """
         site = self.association.site_of(client_name)
-        return self.cells[site] if site is not None else None
+        return self.cells.get(site) if site is not None else None
 
     def client(self, client_name: str) -> "HotspotClient":
         return self._clients[client_name]
@@ -168,7 +188,9 @@ class FleetCoordinator:
         for site, quality in self.topology.ranked_sites(position):
             if quality < self.coverage_threshold:
                 continue
-            cell = self.cells[site.name]
+            cell = self.cells.get(site.name)
+            if cell is None:  # site owned by another shard's world
+                continue
             if cell.server.can_admit(client):
                 admissible.append(
                     (self.load_fraction(cell), -quality, site.name, cell)
@@ -211,6 +233,44 @@ class FleetCoordinator:
                 load=self.load_fraction(cell),
             )
         return cell
+
+    # -- shard hooks (repro.shard) ---------------------------------------------
+
+    def place(self, client: "HotspotClient", cell_name: str) -> Cell:
+        """Register a client on a pre-planned cell, bypassing steering.
+
+        The shard runner plans the initial placement centrally — a pure
+        function of the spec, identical in every world — so each world
+        places only its own residents.  Same bookkeeping as
+        :meth:`admit` minus the admission decision.
+        """
+        cell = self.cell(cell_name)
+        session = cell.server.register(client)
+        self._sessions[client.name] = session
+        self._clients[client.name] = client
+        self.association.associate(client.name, cell.name)
+        return cell
+
+    def adopt_migrant(
+        self, client: "HotspotClient", session: ClientSession, cell_name: str
+    ) -> Cell:
+        """Track a roamed-in client (cross-shard ingress) fleet-side.
+
+        Records the shared session and the association, so ingest works
+        from the restore instant; the cell server's ``adopt_session``
+        happens separately once the reassociation latency has elapsed.
+        """
+        cell = self.cell(cell_name)
+        self._sessions[client.name] = session
+        self._clients[client.name] = client
+        self.association.associate(client.name, cell.name)
+        return cell
+
+    def release(self, client_name: str) -> Tuple["HotspotClient", ClientSession]:
+        """Forget a client that roamed to a cell another world owns."""
+        client = self._clients.pop(client_name)
+        session = self._sessions.pop(client_name)
+        return client, session
 
     # -- traffic ingress -------------------------------------------------------
 

@@ -100,6 +100,17 @@ class HandoffController:
         self.declined = 0
         #: (time, client, from_site, to_site) — the handoff timeline.
         self.timeline: List[Tuple[float, str, str, str]] = []
+        #: Cross-shard roaming (repro.shard): when enabled, a best site
+        #: with no local cell becomes a remote departure record instead
+        #: of a KeyError.
+        self.remote_enabled = False
+        #: Extra QoS-guard window covering the barrier wait a remote
+        #: move adds on top of the reassociation latency.
+        self.remote_window_s = 0.0
+        #: Departure records the shard layer drains at each barrier.
+        self.remote_departures: List[Dict[str, object]] = []
+        #: Earliest re-attempt time after a declined cross-shard move.
+        self._remote_backoff: Dict[str, float] = {}
         self._running = False
 
     # -- registration ----------------------------------------------------------
@@ -112,6 +123,41 @@ class HandoffController:
 
     def position_of(self, client_name: str) -> Tuple[float, float]:
         return self._positions[client_name].position(self.sim.now)
+
+    # -- cross-shard roaming (repro.shard) -------------------------------------
+
+    def enable_remote_egress(self, window_s: float) -> None:
+        """Allow roams towards sites this world does not own.
+
+        ``window_s`` is the worst-case wait until the owning world picks
+        the migration up (one barrier epoch); the QoS guard widens by it
+        so a protected pause covers the whole limbo.
+        """
+        if window_s < 0:
+            raise ValueError("remote window must be >= 0")
+        self.remote_enabled = True
+        self.remote_window_s = window_s
+
+    def untrack(self, client_name: str) -> None:
+        """Stop following a client that left this world."""
+        self._positions.pop(client_name, None)
+        self._in_transit.discard(client_name)
+
+    def arrive(self, client_name: str, mobility, at_s: float) -> None:
+        """Track a roamed-in client; dwell time counts from ``at_s``."""
+        self.track(client_name, mobility)
+        self._last_move[client_name] = at_s
+        self._in_transit.discard(client_name)
+
+    def note_remote_decline(self, client_name: str, retry_after_s: float) -> None:
+        """A cross-shard move bounced: back off before trying again.
+
+        Out-of-coverage clients waive the dwell check, so without a
+        backoff a bounced client would re-attempt the same full cell
+        every evaluation round.
+        """
+        self.declined += 1
+        self._remote_backoff[client_name] = retry_after_s
 
     # -- the roaming loop ------------------------------------------------------
 
@@ -159,7 +205,12 @@ class HandoffController:
                 return None  # dwell: roamed (or arrived) too recently
         elif quality <= current_quality:
             return None  # out of coverage but nowhere better
-        new_cell = self.fleet.cells[site.name]
+        new_cell = self.fleet.cells.get(site.name)
+        if new_cell is None:
+            # The winning site lives in another shard's world.
+            if self.remote_enabled:
+                self._begin_remote_departure(name, old_cell, site.name)
+            return None
         if not new_cell.server.can_admit(self.fleet.client(name)):
             self.declined += 1
             bus = self.sim.trace
@@ -173,6 +224,63 @@ class HandoffController:
                 )
             return None
         return old_cell, new_cell
+
+    def _begin_remote_departure(
+        self, name: str, old_cell: Cell, target_site: str
+    ) -> None:
+        """Detach towards a cell another world owns (cross-shard egress).
+
+        Mirrors :meth:`_execute` up to the detach, but the adoption
+        happens in the owning world after the next barrier, so the
+        origin only commits once the client is fully quiescent — radios
+        asleep, no burst in flight.  A busy client simply retries on the
+        next evaluation round; detaching first makes the quiescence
+        permanent (no session, no new bursts).  The admission check, and
+        therefore the grant/decline reply, is the target world's call.
+        """
+        now = self.sim.now
+        if now < self._remote_backoff.get(name, 0.0):
+            return
+        client = self.fleet.client(name)
+        if client.bursts_in_flight or not all(
+            interface.is_asleep for interface in client.interfaces.values()
+        ):
+            return
+        latency = self.streams.uniform(
+            f"net/handoff/{name}", *self.latency_range_s
+        )
+        protect = client.time_until_underrun_s() <= (
+            latency + self.remote_window_s + self.underrun_guard_s
+        )
+        if protect:
+            old_cell.server.pause_client(name)
+            self.suspensions += 1
+        old_cell.server.detach_session(name)
+        self.fleet.association.associate(name, target_site)
+        self._in_transit.add(name)
+        self._last_move[name] = now
+        self.remote_departures.append(
+            {
+                "client": name,
+                "origin": old_cell.name,
+                "target": target_site,
+                "t_detach": now,
+                "latency_s": latency,
+                "protected": protect,
+            }
+        )
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "net",
+                name,
+                "handoff-start",
+                origin=old_cell.name,
+                target=target_site,
+                latency_s=latency,
+                protected=protect,
+                remote=True,
+            )
 
     def _execute(self, name: str, old_cell: Cell, new_cell: Cell):
         """Detach → re-associate → (latency) → adopt, guarding QoS."""

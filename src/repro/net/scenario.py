@@ -94,3 +94,52 @@ def run_fleet_hotspot_scenario(
         label=label,
     )
     return WorldBuilder(spec).run(obs=obs)
+
+
+def run_city_grid_scenario(
+    n_clients: int = 54,
+    grid_rows: int = 3,
+    grid_cols: int = 3,
+    duration_s: float = 120.0,
+    bitrate_bps: float = 128_000.0,
+    scheduler: Union[BurstScheduler, str] = "edf",
+    burst_bytes: int = 80_000,
+    client_buffer_bytes: int = 192_000,
+    ap_spacing_m: float = 50.0,
+    epoch_s: float = 0.25,
+    utilisation_cap: float = 0.9,
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    server_prefetch_s: float = 30.0,
+    label: Optional[str] = None,
+    obs=None,
+) -> ScenarioResult:
+    """A city block of WLAN hotspot cells on a square grid.
+
+    The deployment behind the sharded fleet runner: ``grid_rows x
+    grid_cols`` WLAN cells on a lattice (``ap_spacing_m`` pitch) serving
+    a roaming random-waypoint population.  Identical machinery to
+    :func:`run_fleet_hotspot_scenario`, but WLAN-only clients keep the
+    per-client event load low enough for 10k-walker populations.
+    """
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import city_grid_world
+
+    spec = city_grid_world(
+        n_clients=n_clients,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        duration_s=duration_s,
+        bitrate_bps=bitrate_bps,
+        scheduler=scheduler,
+        burst_bytes=burst_bytes,
+        client_buffer_bytes=client_buffer_bytes,
+        ap_spacing_m=ap_spacing_m,
+        epoch_s=epoch_s,
+        utilisation_cap=utilisation_cap,
+        seed=seed,
+        platform=platform,
+        server_prefetch_s=server_prefetch_s,
+        label=label,
+    )
+    return WorldBuilder(spec).run(obs=obs)

@@ -246,3 +246,40 @@ def linear_deployment(
             )
         )
     return topology
+
+
+def grid_deployment(
+    rows: int,
+    cols: int,
+    spacing_m: float = 50.0,
+    radios: Optional[Dict[str, LinkBudget]] = None,
+    path_loss=None,
+    name_prefix: str = "ap",
+) -> Topology:
+    """A city block of ``rows x cols`` hotspots on a square lattice.
+
+    Site ``(r, c)`` sits at ``(spacing/2 + c*spacing, spacing/2 +
+    r*spacing)`` and is named ``{prefix}{r}-{c}`` — deterministic IDs so
+    partitioning a grid into shards is a pure function of the spec.  An
+    arena of ``cols*spacing x rows*spacing`` metres is symmetrically
+    covered, the floor plan behind the city-scale fleet scenarios.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("need at least one row and one column")
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    topology = Topology()
+    for row in range(rows):
+        for col in range(cols):
+            topology.add_site(
+                AccessPointSite(
+                    f"{name_prefix}{row}-{col}",
+                    (
+                        spacing_m / 2.0 + col * spacing_m,
+                        spacing_m / 2.0 + row * spacing_m,
+                    ),
+                    radios=radios,
+                    path_loss=path_loss,
+                )
+            )
+    return topology

@@ -268,6 +268,28 @@ class Radio:
             )
         self._last_state_change = self.sim.now
 
+    def force_state(self, state_name: str) -> None:
+        """Administratively set the state, with no transition cost.
+
+        For checkpoint/restore (:mod:`repro.shard`): a radio rebuilt in a
+        peer simulator must start in the state its twin was snapshotted
+        in, without charging — or timing — a transition that never
+        physically happened.  Only valid while no transition is in
+        progress.
+        """
+        self.model._require(state_name)
+        if self._in_transition:
+            raise RuntimeError(
+                f"radio {self.name!r}: cannot force state mid-transition"
+            )
+        if state_name == self._state:
+            return
+        self._account_state_time()
+        self._state = state_name
+        self._last_state_change = self.sim.now
+        self._power_trace.record(self.sim.now, self.model.power(state_name))
+        self.state_series.append(self.sim.now, state_name)
+
     # -- accounting ----------------------------------------------------------------
 
     def add_energy_impulse(self, energy_j: float) -> None:

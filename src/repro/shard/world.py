@@ -1,0 +1,461 @@
+"""One AP cell as an independent simulation world.
+
+A :class:`CellWorld` is the shard protocol's unit of decomposition: its
+own :class:`~repro.sim.core.Simulator`, its own
+:class:`~repro.sim.streams.RandomStreams` seeded with the *same* master
+seed as every other world (per-client substreams are identical wherever
+the client happens to live), the full pure-data topology, and a
+:class:`~repro.net.fleet.FleetCoordinator` that owns exactly one cell.
+Because every world owns a single cell, *every* roam decision is a
+cross-shard departure — the local handoff path never runs — which makes
+the world count, and therefore the merged result, independent of how
+worlds are dealt across processes.
+
+The delicate part is traffic during migration.  A client's source pump
+lives in its *home* world for the whole run (stopping and replaying a
+half-consumed arrival generator deterministically would be fragile), so:
+
+- while the client is away, the home world's sink is *guarded*: bytes
+  are counted in a ``missed`` accumulator instead of being ingested into
+  a session that left;
+- the world the client lands in starts its own pump from the barrier
+  time, skipping arrivals the client already received elsewhere (the
+  substream is identical, so the skipped prefix is exactly what the
+  previous worlds pumped);
+- a *declined* migration bounces: the origin restores its stashed live
+  objects, folds the missed bytes into the backlog (nobody delivered
+  them), and backs the client off before it retries the full cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.build.builder import (
+    build_managed_client,
+    fleet_floor_plan,
+    register_radios,
+)
+from repro.build.spec import InterfaceSpec, NodeSpec, WorldSpec
+from repro.apps.traffic import TrafficSource, build_source
+from repro.core.outcome import MP3_DECODE_BUSY_FRACTION
+from repro.net.association import AssociationManager
+from repro.net.fleet import FleetCoordinator
+from repro.net.handoff import HandoffController
+from repro.phy.mobility import RandomWaypoint
+from repro.shard.messages import (
+    restore_client_state,
+    restore_session,
+    snapshot_client,
+)
+from repro.shard.plan import AdmissionProbe
+from repro.sim.core import Simulator
+from repro.sim.streams import RandomStreams
+
+__all__ = ["CellWorld"]
+
+
+class _ResumedSource(TrafficSource):
+    """Skips the arrival prefix a migrating client already received.
+
+    The underlying source is rebuilt from the same seeded substream the
+    previous worlds used, so arrivals at or before the resume point are
+    exactly the bytes already pumped elsewhere.  They must be filtered
+    *before* :meth:`TrafficSource.start` sees them — the pump sinks
+    past-due arrivals immediately, which would double-deliver them.
+    """
+
+    def __init__(self, inner: TrafficSource, resume_after_s: float) -> None:
+        self.inner = inner
+        self.resume_after_s = resume_after_s
+
+    def arrivals(self, until_s: float):
+        for arrival in self.inner.arrivals(until_s):
+            if arrival[0] > self.resume_after_s:
+                yield arrival
+
+
+class CellWorld:
+    """One owned cell, full topology knowledge, own kernel.
+
+    Duck-types the builder's ``World`` where the shared assembly helpers
+    (:func:`build_managed_client`, :func:`register_radios`) need it:
+    ``sim``, ``streams``, ``platform``, ``spec``, ``radios``.
+
+    Parameters
+    ----------
+    spec:
+        The *fleet* world spec (shared verbatim by every world).
+    cell_name:
+        The single site this world owns.
+    plan:
+        The :func:`~repro.shard.plan.placement_plan` mapping; residents
+        are the clients it assigns to ``cell_name``.
+    obs:
+        Optional observability session (attached before any actor, like
+        the builder does); per-world metrics snapshots merge later.
+    """
+
+    def __init__(
+        self,
+        spec: WorldSpec,
+        cell_name: str,
+        plan: Dict[str, str],
+        obs=None,
+    ) -> None:
+        if spec.delivery != "fleet":
+            raise ValueError("CellWorld requires a fleet world spec")
+        self.spec = spec
+        self.cell_name = cell_name
+        self.plan = plan
+        self.obs = obs
+        self.sim = Simulator()
+        if obs is not None:
+            obs.attach(self.sim)
+        self.streams = RandomStreams(seed=spec.seed)
+        from repro.devices.profiles import ipaq_3970
+
+        self.platform = spec.platform or ipaq_3970()
+        self.radios: Dict[str, object] = {}
+        fleet_spec = spec.fleet
+        self.topology, self.arena = fleet_floor_plan(fleet_spec)
+        self.association = AssociationManager(self.sim, self.topology)
+        self.fleet = FleetCoordinator(
+            self.sim,
+            self.topology,
+            self.association,
+            coverage_threshold=fleet_spec.coverage_threshold,
+            gauge_interval_s=fleet_spec.gauge_interval_s,
+            owned_sites=[cell_name],
+            scheduler=spec.scheduler,
+            epoch_s=spec.epoch_s,
+            min_burst_bytes=spec.min_burst_bytes,
+            utilisation_cap=spec.utilisation_cap,
+            load_aware_selection=fleet_spec.load_aware_selection,
+        )
+        self.handoff = HandoffController(
+            self.sim,
+            self.fleet,
+            self.streams,
+            check_interval_s=fleet_spec.handoff_check_interval_s,
+            hysteresis_margin=fleet_spec.hysteresis_margin,
+            min_dwell_s=fleet_spec.min_dwell_s,
+            latency_range_s=fleet_spec.handoff_latency_range_s,
+        )
+        # The QoS guard must bridge reassociation latency *plus* the
+        # wait until the owning world picks the migration up at the next
+        # barrier — one epoch of lookahead.
+        self.handoff.enable_remote_egress(spec.epoch_s)
+        self._nodes: Dict[str, NodeSpec] = {
+            node.name: node for node in spec.clients
+        }
+        #: One mobility model per client, created on first need and kept
+        #: forever: the ``mobility/<name>`` substream is consumed lazily
+        #: and strictly in order, so a second model on the same substream
+        #: would walk a different path.
+        self._mobility: Dict[str, RandomWaypoint] = {}
+        #: Former residents whose pump still runs here (guarded sinks).
+        self._away: Set[str] = set()
+        #: Bytes the guarded sink swallowed per away client.
+        self._missed: Dict[str, int] = {}
+        #: Clients whose traffic pump lives in this world.
+        self._pumping: Set[str] = set()
+        #: Departed (client, session, departure-record) awaiting a reply.
+        self._stash: Dict[str, Tuple[object, object, dict]] = {}
+        #: Grant/decline messages produced by ingress, drained next.
+        self._replies: List[Dict[str, object]] = []
+        self._seq = 0
+        for node in spec.clients:
+            if plan[node.name] == cell_name:
+                self._install_resident(node)
+        self.fleet.start()
+        self.handoff.start()
+
+    # -- assembly --------------------------------------------------------------
+
+    def _mobility_for(self, name: str) -> RandomWaypoint:
+        model = self._mobility.get(name)
+        if model is None:
+            fleet_spec = self.spec.fleet
+            model = RandomWaypoint(
+                self.streams,
+                name,
+                area=self.arena,
+                speed_range_m_s=fleet_spec.speed_range_m_s,
+                pause_range_s=fleet_spec.pause_range_s,
+            )
+            self._mobility[name] = model
+        return model
+
+    def _roaming_quality(self, mobility):
+        """Quality signals that follow the client's current association
+        (mirrors the fleet delivery mode's resolver)."""
+
+        def quality_for(node: NodeSpec, ispec: InterfaceSpec):
+            def quality(time_s: float) -> float:
+                site = self.association.site_of(node.name)
+                if site is None:
+                    return 0.0
+                return self.topology.quality(
+                    site, ispec.kind, mobility.position(time_s)
+                )
+
+            return quality
+
+        return quality_for
+
+    def _install_resident(self, node: NodeSpec) -> None:
+        mobility = self._mobility_for(node.name)
+        client = build_managed_client(
+            self, node, quality_for=self._roaming_quality(mobility)
+        )
+        self.fleet.place(client, self.cell_name)
+        self.handoff.track(node.name, mobility)
+        register_radios(self, client)
+        if node.prefetch_s > 0:
+            self.fleet.ingest(
+                node.name,
+                int(node.prefetch_s * node.contract_rate_bps / 8.0),
+            )
+        self._start_pump(node)
+
+    def _start_pump(
+        self, node: NodeSpec, resume_after_s: Optional[float] = None
+    ) -> None:
+        source = build_source(
+            node.traffic.kind,
+            bitrate_bps=node.traffic.bitrate_bps,
+            rng=self.streams.stream(f"traffic/{node.name}"),
+            options=node.traffic.option_dict,
+        )
+        if resume_after_s is not None:
+            source = _ResumedSource(source, resume_after_s)
+        source.start(
+            self.sim,
+            self._guarded_sink(node.name),
+            until_s=self.spec.duration_s,
+        )
+        self._pumping.add(node.name)
+
+    def _guarded_sink(self, name: str):
+        """The fleet sink, with a bypass while the client is away."""
+
+        def sink(nbytes: int, kind: str) -> None:
+            if name in self._away:
+                self._missed[name] = self._missed.get(name, 0) + nbytes
+            else:
+                self.fleet.ingest(name, nbytes, kind)
+
+        return sink
+
+    # -- barrier protocol ------------------------------------------------------
+
+    def advance(self, until_s: float) -> None:
+        """Simulate to the next epoch boundary."""
+        self.sim.run(until=until_s)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "net",
+                self.cell_name,
+                "shard-barrier",
+                residents=len(self.fleet.client_names()),
+            )
+
+    def _message(self, kind: str, to: str, fields: Dict[str, object]):
+        message = {
+            "kind": kind,
+            "to": to,
+            "origin": self.cell_name,
+            "seq": self._seq,
+        }
+        self._seq += 1
+        message.update(fields)
+        return message
+
+    def drain_outbox(self, migrations: bool = True) -> List[Dict[str, object]]:
+        """Messages to exchange at this barrier, in deterministic order.
+
+        Replies first (produced during this round's ingress), then fresh
+        departures.  ``migrations=False`` — the final barrier — keeps
+        pending departures home: there is no later barrier to route a
+        reply through, so the client stays origin-owned and is reported
+        there (its session was never released).
+        """
+        out = self._replies
+        self._replies = []
+        if not migrations:
+            return out
+        now = self.sim.now
+        for record in self.handoff.remote_departures:
+            name = record["client"]
+            client = self.fleet.client(name)
+            session = self.fleet.session_of(name)
+            snapshot = snapshot_client(client, session, now)
+            self.fleet.release(name)
+            self.handoff.untrack(name)
+            self._away.add(name)
+            self._missed[name] = 0
+            self._stash[name] = (client, session, record)
+            out.append(
+                self._message(
+                    "migrate",
+                    record["target"],
+                    {**record, "snapshot": snapshot},
+                )
+            )
+        self.handoff.remote_departures = []
+        return out
+
+    def apply_ingress(self, messages: List[Dict[str, object]]) -> None:
+        """Apply this barrier's inbox (already sorted by the runner)."""
+        for message in messages:
+            kind = message["kind"]
+            if kind == "migrate":
+                self._apply_migration(message)
+            elif kind == "grant":
+                self._apply_grant(message)
+            elif kind == "decline":
+                self._apply_decline(message)
+            else:
+                raise ValueError(f"unknown shard message kind {kind!r}")
+
+    def _apply_migration(self, message: Dict[str, object]) -> None:
+        name = message["client"]
+        node = self._nodes[name]
+        now = self.sim.now
+        cell = self.fleet.cell(message["target"])
+        if not cell.server.can_admit(AdmissionProbe(node)):
+            self._replies.append(
+                self._message("decline", message["origin"], {"client": name})
+            )
+            return
+        self._replies.append(
+            self._message("grant", message["origin"], {"client": name})
+        )
+        mobility = self._mobility_for(name)
+        client = build_managed_client(
+            self, node, quality_for=self._roaming_quality(mobility)
+        )
+        restore_client_state(client, message["snapshot"])
+        session = restore_session(client, message["snapshot"])
+        self.fleet.adopt_migrant(client, session, cell.name)
+        self.handoff.arrive(name, mobility, now)
+        register_radios(self, client)
+        if name in self._pumping:
+            # Coming home: the resident pump never stopped.  Unguard it
+            # and drop the missed count — those bytes were delivered by
+            # the worlds the client visited (they are in the travelled
+            # session already).
+            self._away.discard(name)
+            self._missed.pop(name, None)
+        else:
+            self._start_pump(node, resume_after_s=now)
+        delay = max(message["t_detach"] + message["latency_s"], now) - now
+        self.sim.process(
+            self._adoption(cell, session, message, delay),
+            name=f"shard-adopt:{name}",
+        )
+
+    def _adoption(self, cell, session, message, delay_s: float):
+        if delay_s > 0:
+            yield self.sim.timeout(delay_s)
+        name = message["client"]
+        cell.server.adopt_session(session)
+        cell.adoptions += 1
+        if session.paused and message["protected"]:
+            cell.server.resume_client(name)
+        bus = self.sim.trace
+        if bus.enabled:
+            bus.emit(
+                "net",
+                name,
+                "handoff-complete",
+                origin=message["origin"],
+                target=message["target"],
+                latency_s=message["latency_s"],
+                remote=True,
+            )
+
+    def _apply_grant(self, message: Dict[str, object]) -> None:
+        name = message["client"]
+        _client, _session, record = self._stash.pop(name)
+        # The move is definitive: count it and put it on the timeline at
+        # its detach time (a declined attempt never counts, mirroring
+        # the local path where declines happen before the move starts).
+        self.handoff.handoffs += 1
+        self.handoff.timeline.append(
+            (record["t_detach"], name, record["origin"], record["target"])
+        )
+
+    def _apply_decline(self, message: Dict[str, object]) -> None:
+        name = message["client"]
+        client, session, record = self._stash.pop(name)
+        now = self.sim.now
+        # Bytes that arrived while the move was in flight were swallowed
+        # by the guarded sink; nobody delivered them, so they are still
+        # owed to the client.
+        session.backlog_bytes += self._missed.pop(name, 0)
+        self._away.discard(name)
+        cell = self.fleet.adopt_migrant(client, session, record["origin"])
+        cell.server.adopt_session(session)
+        if session.paused and record["protected"]:
+            cell.server.resume_client(name)
+        self.handoff.arrive(name, self._mobility_for(name), now)
+        self.handoff.note_remote_decline(
+            name, now + self.handoff.min_dwell_s
+        )
+
+    # -- collection ------------------------------------------------------------
+
+    def collect(self) -> Dict[str, object]:
+        """This world's JSON-ready partial result at end of run.
+
+        Per-client power is computed from total radio energy over the
+        full duration — not the radios' own averaging window, which for
+        a migrant starts at its last arrival, not at t=0.
+        """
+        duration = self.spec.duration_s
+        platform_power = (
+            MP3_DECODE_BUSY_FRACTION * self.platform.busy_power_w
+            + (1.0 - MP3_DECODE_BUSY_FRACTION) * self.platform.idle_power_w
+        )
+        clients: List[Dict[str, object]] = []
+        for name in self.fleet.client_names():
+            client = self.fleet.client(name)
+            session = self.fleet.session_of(name)
+            qos = client.finish(duration)
+            wnic_energy = sum(
+                interface.radio.energy_j(duration)
+                for interface in client.interfaces.values()
+            )
+            wnic_power = wnic_energy / duration if duration > 0 else 0.0
+            clients.append(
+                {
+                    "name": name,
+                    "qos_maintained": qos.maintained,
+                    "underruns": qos.underruns,
+                    "underrun_time_s": qos.underrun_time_s,
+                    "deadline_misses": qos.deadline_misses,
+                    "wnic_power_w": wnic_power,
+                    "device_power_w": platform_power + wnic_power,
+                    "bursts": client.bursts_received,
+                    "bytes_received": client.bytes_received,
+                    "switchovers": session.switchovers,
+                }
+            )
+        return {
+            "cell": self.cell_name,
+            "clients": clients,
+            "sim_events": self.sim.events_scheduled,
+            "handoffs": self.handoff.handoffs,
+            "handoff_suspensions": self.handoff.suspensions,
+            "handoffs_declined": self.handoff.declined,
+            "association_churn": self.association.churn,
+            "admission_rejections": self.fleet.rejected,
+            "cells": self.fleet.cell_summary(),
+            "handoff_timeline": self.handoff.timeline_records(),
+            "metrics": (
+                self.obs.metrics_snapshot() if self.obs is not None else None
+            ),
+        }

@@ -84,6 +84,31 @@ class TestHeartbeats:
             assert record["sim_events"] > 0  # deterministic, stays
         store.close()
 
+    def test_zero_wall_time_yields_null_events_per_second(self, tmp_path):
+        # Cache hits and sub-clock-resolution runs have no measurable
+        # wall time; the heartbeat must carry null, never 0.0 or the
+        # inf a caller gets from dividing by zero.
+        from repro.exp.progress import CampaignProgress, ProgressLog
+        from repro.exp.spec import RunSpec
+
+        path = str(tmp_path / "progress.jsonl")
+        log = ProgressLog(path, campaign="null-eps")
+        progress = CampaignProgress(total=2, log=log)
+        run = RunSpec(scenario="hotspot", params=(), seed=0, index=0)
+        progress.run_finished(
+            run, "cached", wall_time_s=0.0, events_per_second=0.0
+        )
+        progress.run_finished(
+            run, "ok", wall_time_s=0.0, events_per_second=float("inf")
+        )
+        log.close()
+        beats = [b for b in read_progress(path) if b["kind"] == "run"]
+        assert [b["events_per_second"] for b in beats] == [None, None]
+        # raw JSON spells it null, not NaN/Infinity
+        raw = (tmp_path / "progress.jsonl").read_text()
+        assert '"events_per_second":null' in raw
+        assert "Infinity" not in raw
+
     def test_stderr_line_silent_without_a_tty(self):
         stream = io.StringIO()  # not a tty
         line = StderrProgress(total=3, stream=stream)

@@ -7,7 +7,7 @@ import pytest
 from repro.core import run_hotspot_scenario, run_unscheduled_scenario
 from repro.exp import scenario_names
 from repro.metrics.energy import wnic_power_saving_fraction
-from repro.net import run_fleet_hotspot_scenario
+from repro.net import run_city_grid_scenario, run_fleet_hotspot_scenario
 from repro.obs import ObsSession
 
 
@@ -91,3 +91,39 @@ class TestScenarioShape:
             run_fleet_hotspot_scenario(n_aps=0)
         with pytest.raises(ValueError):
             run_fleet_hotspot_scenario(duration_s=0.0)
+
+
+class TestCityGridScenario:
+    def run_small(self, **kwargs):
+        defaults = dict(
+            n_clients=12, grid_rows=2, grid_cols=2, duration_s=20.0, seed=0
+        )
+        defaults.update(kwargs)
+        return run_city_grid_scenario(**defaults)
+
+    def test_registered_for_campaigns(self):
+        assert "city-grid" in scenario_names()
+
+    def test_grid_cells_carry_row_col_names(self):
+        result = self.run_small()
+        assert sorted(result.extras["cells"]) == [
+            "ap0-0", "ap0-1", "ap1-0", "ap1-1"
+        ]
+        assert result.extras["n_aps"] == 4
+
+    def test_wlan_only_population_keeps_qos(self):
+        result = self.run_small()
+        assert result.qos_maintained()
+        assert all(c.bytes_received > 0 for c in result.clients)
+        # single-interface clients: no bluetooth switchovers possible
+        assert result.summary_record()["switchovers"] == 0
+
+    def test_default_label_names_the_grid(self):
+        record = self.run_small().summary_record()
+        assert record["label"].startswith("city-grid")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_city_grid_scenario(n_clients=0)
+        with pytest.raises(ValueError):
+            run_city_grid_scenario(grid_rows=0)

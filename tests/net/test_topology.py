@@ -8,6 +8,7 @@ from repro.net.topology import (
     AccessPointSite,
     LinkBudget,
     Topology,
+    grid_deployment,
     linear_deployment,
 )
 
@@ -113,3 +114,39 @@ class TestLinearDeployment:
             linear_deployment(0)
         with pytest.raises(ValueError):
             linear_deployment(2, spacing_m=0.0)
+
+
+class TestGridDeployment:
+    def test_sites_centred_on_a_square_lattice(self):
+        topo = grid_deployment(2, 3, spacing_m=100.0)
+        assert {site.name: site.xy for site in topo} == {
+            "ap0-0": (50.0, 50.0),
+            "ap0-1": (150.0, 50.0),
+            "ap0-2": (250.0, 50.0),
+            "ap1-0": (50.0, 150.0),
+            "ap1-1": (150.0, 150.0),
+            "ap1-2": (250.0, 150.0),
+        }
+
+    def test_row_col_names_are_deterministic_and_sortable(self):
+        # Shard partitioning sorts cell names; the ``ap{r}-{c}`` scheme
+        # must therefore be stable across calls and prefix-overridable.
+        topo = grid_deployment(2, 2, name_prefix="cell")
+        assert sorted(site.name for site in topo) == [
+            "cell0-0", "cell0-1", "cell1-0", "cell1-1"
+        ]
+
+    def test_single_cell_grid_matches_linear_deployment_geometry(self):
+        (grid_site,) = grid_deployment(1, 1, spacing_m=60.0).sites()
+        (line_site,) = linear_deployment(1, spacing_m=60.0, y_m=30.0).sites()
+        assert grid_site.xy == line_site.xy
+        assert grid_site.radios["wlan"] == WLAN_LINK_BUDGET
+        assert grid_site.radios["bluetooth"] == BLUETOOTH_LINK_BUDGET
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_deployment(0, 3)
+        with pytest.raises(ValueError):
+            grid_deployment(3, 0)
+        with pytest.raises(ValueError):
+            grid_deployment(2, 2, spacing_m=-1.0)
