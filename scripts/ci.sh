@@ -60,6 +60,7 @@ entries = {e["name"]: e for e in json.loads(out)}
 expected = {
     "hotspot", "faulty-hotspot", "unscheduled", "psm-baseline",
     "psm-crossval", "fleet-hotspot", "city-grid",
+    "unap-hotspot", "pamas", "ecmac",
 }
 missing = expected - set(entries)
 if missing:
@@ -226,6 +227,41 @@ print(f"shard ok: {record['handoffs']} cross-shard handoffs, "
       "1==4 workers byte-identical")
 EOF
 
+echo "== μNap power-saving smoke check =="
+unap_dir="$(mktemp -d /tmp/repro-unap.XXXXXX)"
+# Same assembly, same seed, same traffic — only the power policy
+# differs.  μNap must save WNIC energy over the CAM baseline without
+# giving up a byte of throughput or the PSM-era QoS guard.
+python -m repro campaign --scenario unap-hotspot \
+  --param power_policy=unap,cam \
+  --set n_clients=3 --set duration_s=3 --seeds 1 --name ci-unap --json \
+  > "$unap_dir/unap.json" 2> "$unap_dir/unap.err"
+
+python - "$unap_dir/unap.json" <<'EOF'
+import json
+import sys
+
+payload = json.load(open(sys.argv[1]))
+points = {p["params"]["power_policy"]: p for p in payload["points"]}
+if set(points) != {"unap", "cam"}:
+    sys.exit(f"unap smoke: unexpected grid: {sorted(points)}")
+for name, point in points.items():
+    if not point["qos_maintained"]:
+        sys.exit(f"unap smoke: QoS guard lost under {name}")
+unap = points["unap"]["stats"]
+cam = points["cam"]["stats"]
+if unap["bytes_received"]["mean"] != cam["bytes_received"]["mean"]:
+    sys.exit("unap smoke: napping changed delivered traffic")
+saving = 1.0 - unap["wnic_power_w"]["mean"] / cam["wnic_power_w"]["mean"]
+if saving <= 0.05:
+    sys.exit(f"unap smoke: expected >5% WNIC saving, got {saving:.1%}")
+if unap["naps"]["mean"] <= 0 or unap["micro_doze_dwells"]["mean"] <= 0:
+    sys.exit("unap smoke: no micro-sleep evidence in the unap run")
+print(f"unap ok: {saving:.1%} WNIC saving over CAM, QoS held, "
+      f"{unap['naps']['mean']:.0f} naps")
+EOF
+rm -rf "$unap_dir"
+
 echo "== kernel perf gate =="
 bench_dir="$(mktemp -d /tmp/repro-bench.XXXXXX)"
 report_dir="$(mktemp -d /tmp/repro-report.XXXXXX)"
@@ -306,6 +342,17 @@ grep -q "agreement: worst residual" "$crossval_dir/crossval.err" \
   || { echo "crossval smoke: missing agreement verdict:"; \
        cat "$crossval_dir/crossval.err"; exit 1; }
 echo "crossval ok: $(grep 'agreement' "$crossval_dir/crossval.err")"
+# Same contract for the μNap predictor: one grid point per policy
+# branch (unap + cam) against the unap-hotspot world.
+python -m repro crossval --suite unap --saturated-duration 5 --jobs 2 \
+  --json \
+  > "$crossval_dir/unap-crossval.json.out" 2> "$crossval_dir/unap-crossval.err" \
+  || { echo "unap crossval smoke: tolerance contract violated:"; \
+       cat "$crossval_dir/unap-crossval.err"; exit 1; }
+grep -q "agreement: worst residual" "$crossval_dir/unap-crossval.err" \
+  || { echo "unap crossval smoke: missing agreement verdict:"; \
+       cat "$crossval_dir/unap-crossval.err"; exit 1; }
+echo "unap crossval ok: $(grep 'agreement' "$crossval_dir/unap-crossval.err")"
 
 echo "== surrogate determinism smoke check =="
 # Surrogate-refined campaign (3/8 points on the acceptance grid) run

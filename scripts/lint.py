@@ -9,6 +9,9 @@ Covers the correctness subset of the ruff gate configured in
 - E711  comparison to ``None`` with ``==`` / ``!=``
 - E712  comparison to ``True`` / ``False`` with ``==`` / ``!=``
 - F632  ``is`` / ``is not`` comparison against a str/int/tuple literal
+- REP001  ``import random`` under ``src/repro/`` outside
+  ``sim/streams.py`` — simulation draws must come from the seeded
+  ``repro.sim.streams`` registry or reproducibility silently breaks
 
 Deliberately conservative: dynamic scopes (``locals``/``eval``/
 ``exec``/star-imports), ``# noqa`` lines, ``__init__.py`` re-exports
@@ -143,6 +146,48 @@ def _check_imports(
                 )
 
 
+def _under_src_repro(path: Path) -> bool:
+    parts = path.resolve().parts
+    return any(
+        parts[i : i + 2] == ("src", "repro") for i in range(len(parts) - 1)
+    )
+
+
+def _check_banned_random(
+    path: Path, tree: ast.Module, noqa: set
+) -> Iterator[Finding]:
+    """REP001: stdlib ``random`` is off-limits inside the simulator.
+
+    Every stochastic draw must flow from the per-entity streams of
+    :mod:`repro.sim.streams` (which re-exports ``Random`` for type
+    annotations and explicit construction); an unseeded module-level
+    ``random`` call would make runs irreproducible without failing any
+    test.  Only ``sim/streams.py`` itself may import the stdlib module.
+    """
+    if not _under_src_repro(path):
+        return
+    if path.parent.name == "sim" and path.name == "streams.py":
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            continue
+        if node.lineno in noqa:
+            continue
+        for name in names:
+            if name == "random" or name.startswith("random."):
+                yield (
+                    path,
+                    node.lineno,
+                    "REP001",
+                    "stdlib `random` under src/repro/; draw from the "
+                    "seeded `repro.sim.streams` registry instead",
+                )
+
+
 def _is_dynamic_scope(func: ast.AST) -> bool:
     for node in ast.walk(func):
         if isinstance(node, ast.Call):
@@ -258,6 +303,7 @@ def lint_file(path: Path) -> List[Finding]:
     findings.extend(_check_imports(path, tree, noqa))
     findings.extend(_check_unused_locals(path, tree, noqa))
     findings.extend(_check_comparisons(path, tree, noqa))
+    findings.extend(_check_banned_random(path, tree, noqa))
     return findings
 
 

@@ -56,6 +56,18 @@ GOLDEN_CONFIGS = {
         "offered_load_bps": 96_000.0,
         "listen_interval": 2,
     },
+    "unap-hotspot": {
+        "n_clients": 3,
+        "duration_s": 5.0,
+    },
+    "pamas": {
+        "n_clients": 4,
+        "duration_s": 60.0,
+    },
+    "ecmac": {
+        "n_clients": 2,
+        "duration_s": 10.0,
+    },
     "fleet-hotspot": {
         "n_clients": 8,
         "n_aps": 3,

@@ -469,35 +469,66 @@ def cmd_crossval(args: argparse.Namespace) -> int:
     import os
 
     from repro.analytic.crossval import (
+        DEFAULT_METRICS,
         DEFAULT_TOLERANCE,
+        UNAP_METRICS,
         ToleranceContract,
         psm_crossval_spec,
         run_crossval,
+        unap_crossval_spec,
     )
+    from repro.analytic.models import PsmParams, UnapParams
 
-    spec = psm_crossval_spec(
-        name=args.name or "psm-crossval",
-        n_stations=args.n_clients,
-        offered_load_bps=args.offered,
-        listen_interval=args.listen,
-        direction=args.direction,
-        packet_bytes=args.packet_bytes,
-        first_seed=args.seed,
-        n_seeds=args.seeds,
-        light_duration_s=args.light_duration,
-        saturated_duration_s=args.saturated_duration,
-    )
+    if args.suite == "unap":
+        spec = unap_crossval_spec(
+            name=args.name or "unap-crossval",
+            n_stations=args.n_clients if args.n_clients is not None else [4],
+            offered_load_bps=(
+                args.offered[0] if args.offered is not None else 256_000.0
+            ),
+            packet_bytes=args.packet_bytes,
+            duration_s=args.saturated_duration,
+            first_seed=args.seed,
+            n_seeds=args.seeds,
+        )
+        metrics = UNAP_METRICS
+        params_type: type = UnapParams
+    else:
+        spec = psm_crossval_spec(
+            name=args.name or "psm-crossval",
+            n_stations=(
+                args.n_clients if args.n_clients is not None else [1, 2]
+            ),
+            offered_load_bps=(
+                args.offered
+                if args.offered is not None
+                else [128_000.0, 6_000_000.0]
+            ),
+            listen_interval=args.listen if args.listen is not None else [1, 2],
+            direction=args.direction,
+            packet_bytes=args.packet_bytes,
+            first_seed=args.seed,
+            n_seeds=args.seeds,
+            light_duration_s=args.light_duration,
+            saturated_duration_s=args.saturated_duration,
+        )
+        metrics = DEFAULT_METRICS
+        params_type = PsmParams
     contract = (
         ToleranceContract(
-            relative={
-                "throughput_bps": args.tolerance,
-                "wnic_power_w": args.tolerance,
-            }
+            relative={m.name: args.tolerance for m in metrics}
         )
         if args.tolerance is not None
         else DEFAULT_TOLERANCE
     )
     surrogate_payload: Optional[Dict[str, Any]] = None
+    if args.surrogate_fraction is not None and args.suite != "psm":
+        print(
+            "error: --surrogate-fraction pre-screens with the PSM "
+            "predictors and supports --suite psm only",
+            file=sys.stderr,
+        )
+        return 2
     if args.surrogate_fraction is not None:
         refinement = spec.refine_with_surrogate(
             predictor="psm-energy"
@@ -523,9 +554,11 @@ def cmd_crossval(args: argparse.Namespace) -> int:
         report = run_crossval(
             spec,
             contract=contract,
+            metrics=metrics,
             store=store,
             jobs=args.jobs,
             refresh=args.fresh,
+            params_type=params_type,
         )
     finally:
         if store is not None:
@@ -548,7 +581,7 @@ def cmd_crossval(args: argparse.Namespace) -> int:
         json_payload=payload,
         title=f"Cross-validation {spec.name} "
         f"({len(spec.seeds)} seed(s), tolerance "
-        f"{contract.relative.get('throughput_bps', 0) * 100:.0f}%)",
+        f"{(contract.limit_for(metrics[0].name) or 0) * 100:.0f}%)",
         sort_json=True,
     )
     if not report.ok:
@@ -1020,30 +1053,39 @@ def build_parser() -> argparse.ArgumentParser:
         "any relative error exceeds the tolerance contract.  Predictions "
         "are cached in the --store next to the runs, and --surrogate-"
         "fraction pre-screens the grid with the model so only the "
-        "interesting points are simulated.  Example: repro crossval "
+        "interesting points are simulated.  --suite unap swaps in the "
+        "unap-hotspot grid (power_policy unap vs cam) judged by the "
+        "unap-energy predictor.  Example: repro crossval "
         "--n-clients 1,2 --offered 128e3,6e6 --listen 1 --seeds 2 "
         "--store .campaigns/crossval",
     )
     crossval.add_argument(
+        "--suite",
+        default="psm",
+        choices=("psm", "unap"),
+        help="which sim-vs-model suite to run (default: psm)",
+    )
+    crossval.add_argument(
         "--n-clients",
         type=_parse_int_list,
-        default=[1, 2],
+        default=None,
         metavar="N1,N2,...",
-        help="station-count axis (default: 1,2)",
+        help="station-count axis (default: 1,2 for psm; 4 for unap)",
     )
     crossval.add_argument(
         "--offered",
         type=_parse_float_list,
-        default=[128_000.0, 6_000_000.0],
+        default=None,
         metavar="B1,B2,...",
-        help="per-station offered load axis, bits/s (default: 128e3,6e6)",
+        help="per-station offered load axis, bits/s (default: 128e3,6e6 "
+        "for psm; 256e3 for unap, first value only)",
     )
     crossval.add_argument(
         "--listen",
         type=_parse_int_list,
-        default=[1, 2],
+        default=None,
         metavar="L1,L2,...",
-        help="listen-interval axis (default: 1,2)",
+        help="listen-interval axis, psm suite only (default: 1,2)",
     )
     crossval.add_argument(
         "--direction",
@@ -1072,7 +1114,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         metavar="SECONDS",
-        help="run length for saturated points",
+        help="run length for saturated psm points and for the unap suite",
     )
     crossval.add_argument(
         "--tolerance",

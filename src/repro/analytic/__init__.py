@@ -26,11 +26,13 @@ from repro.analytic.models import (
     TcpEnergyPrediction,
     TcpParams,
     ThroughputPrediction,
+    UnapParams,
     bianchi_fixed_point,
     psm_saturation_throughput,
     psm_station_energy,
     psm_wakeup_duty_cycle,
     tcp_station_energy,
+    unap_station_energy,
 )
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "PredictorEntry",
     "PsmParams",
     "TcpParams",
+    "UnapParams",
     "ThroughputPrediction",
     "EnergyPrediction",
     "DutyCyclePrediction",
@@ -47,6 +50,7 @@ __all__ = [
     "psm_station_energy",
     "psm_wakeup_duty_cycle",
     "tcp_station_energy",
+    "unap_station_energy",
 ]
 
 
@@ -89,6 +93,16 @@ PREDICTORS: Dict[str, PredictorEntry] = {
             description="Beacon-period wakeup duty cycle of a PSM station",
             params_type=PsmParams,
             fn=psm_wakeup_duty_cycle,
+        ),
+        PredictorEntry(
+            name="unap-energy",
+            description=(
+                "Per-station WNIC power in the unap-hotspot world: μNap "
+                "micro-sleeps through overheard NAV reservations vs the "
+                "CAM baseline"
+            ),
+            params_type=UnapParams,
+            fn=unap_station_energy,
         ),
         PredictorEntry(
             name="tcp-energy",

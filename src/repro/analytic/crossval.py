@@ -38,9 +38,11 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "Residual",
     "ToleranceContract",
+    "UNAP_METRICS",
     "model_overrides",
     "psm_crossval_spec",
     "run_crossval",
+    "unap_crossval_spec",
 ]
 
 #: Scenario parameter -> model parameter renames; everything else maps
@@ -115,6 +117,20 @@ DEFAULT_METRICS: Tuple[CrossvalMetric, ...] = (
     CrossvalMetric(
         name="wnic_power_w",
         predictor="psm-energy",
+        model_field="wnic_power_w",
+        sim_extract=_sim_wnic_power_w,
+    ),
+)
+
+
+#: The μNap suite compares per-station WNIC power only: the scenario's
+#: goodput is policy-independent by construction (μNap never defers a
+#: station's own traffic), so power is where model and simulator can
+#: actually disagree.
+UNAP_METRICS: Tuple[CrossvalMetric, ...] = (
+    CrossvalMetric(
+        name="wnic_power_w",
+        predictor="unap-energy",
         model_field="wnic_power_w",
         sim_extract=_sim_wnic_power_w,
     ),
@@ -328,6 +344,43 @@ def psm_crossval_spec(
     )
 
 
+def unap_crossval_spec(
+    name: str = "unap-crossval",
+    n_stations: Sequence[int] = (4,),
+    power_policy: Sequence[str] = ("unap", "cam"),
+    offered_load_bps: float = 256_000.0,
+    packet_bytes: int = 1000,
+    rts_threshold_bytes: int = 500,
+    duration_s: float = 10.0,
+    first_seed: int = 0,
+    n_seeds: int = 2,
+) -> CampaignSpec:
+    """The μNap acceptance grid: station count x power policy, 2 seeds.
+
+    Sweeping ``power_policy`` over ("unap", "cam") validates both model
+    branches against the *same* assembly — the CAM points pin down the
+    overhearing baseline, the μNap points the nap savings on top of it.
+    The load stays comfortably unsaturated: the model has no contention
+    queueing, and a saturated air would drown the nap window term the
+    suite exists to check.
+    """
+    return CampaignSpec(
+        name=name,
+        scenario="unap-hotspot",
+        grid={
+            "n_clients": list(n_stations),
+            "power_policy": list(power_policy),
+        },
+        base={
+            "offered_load_bps": offered_load_bps,
+            "packet_bytes": packet_bytes,
+            "rts_threshold_bytes": rts_threshold_bytes,
+            "duration_s": duration_s,
+        },
+        seeds=[first_seed + i for i in range(n_seeds)],
+    )
+
+
 def _store_prediction(
     store: ResultStore,
     predictor: str,
@@ -366,6 +419,7 @@ def run_crossval(
     jobs: int = 1,
     refresh: bool = False,
     param_map: Optional[Mapping[str, str]] = None,
+    params_type: type = PsmParams,
 ) -> CrossvalReport:
     """Run ``spec`` through the simulator and the analytic models.
 
@@ -374,7 +428,9 @@ def run_crossval(
     analytic side evaluates each metric's predictor at the same grid
     point.  Residuals compare the prediction against the seed-mean of
     the simulator metric; a point with failed simulator runs fails the
-    cross-validation outright.
+    cross-validation outright.  ``params_type`` names the model
+    parameter space the grid translates into (:class:`UnapParams` for
+    the μNap suite) — it must match the predictors in ``metrics``.
     """
     campaign = run_campaign(
         spec, store=store, jobs=jobs, refresh=refresh
@@ -389,7 +445,9 @@ def run_crossval(
             index * n_seeds : (index + 1) * n_seeds
         ]
         healthy = [r for r in chunk if r.ok]
-        overrides = model_overrides(params, param_map=param_map)
+        overrides = model_overrides(
+            params, params_type=params_type, param_map=param_map
+        )
         point = CrossvalPoint(
             index=index,
             params=dict(params),

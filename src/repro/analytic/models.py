@@ -50,11 +50,16 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.mac.frames import Dot11Timing
-from repro.metrics.energy import RadioPowerConstants, wlan_cf_constants
+from repro.metrics.energy import (
+    RadioPowerConstants,
+    unap_wlan_constants,
+    wlan_cf_constants,
+)
 
 __all__ = [
     "PsmParams",
     "TcpParams",
+    "UnapParams",
     "ThroughputPrediction",
     "EnergyPrediction",
     "DutyCyclePrediction",
@@ -63,6 +68,7 @@ __all__ = [
     "psm_station_energy",
     "psm_wakeup_duty_cycle",
     "tcp_station_energy",
+    "unap_station_energy",
     "bianchi_fixed_point",
 ]
 
@@ -181,6 +187,69 @@ class TcpParams:
             "rate_bps": self.rate_bps,
             "delayed_ack_ratio": self.delayed_ack_ratio,
             "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class UnapParams:
+    """Shared sim/model parameter space for the ``unap-hotspot`` scenario.
+
+    Field names match the scenario's keyword arguments (``n_clients``
+    renames to ``n_stations`` via ``SIM_TO_MODEL``), so a campaign grid
+    point maps onto a model evaluation without translation — the same
+    contract :class:`PsmParams` has with ``psm-crossval``.
+
+    The modelled world is the ``unap-hotspot`` assembly: ``n_stations``
+    uplink CAM stations under one beaconing AP on a shared medium that
+    delivers every frame to every station (the overhearing substrate),
+    all data protected by RTS/CTS, and each station running either the
+    μNap policy (doze through overheard NAV reservations) or plain CAM.
+    """
+
+    #: Number of client stations contending under one AP.
+    n_stations: int = 4
+    #: Application payload per MAC data frame, bytes.
+    packet_bytes: int = 1000
+    #: PHY data rate for data frames (controls/beacons go at basic rate).
+    rate_bps: float = 11_000_000.0
+    #: Offered load *per station*, application bits per second.
+    offered_load_bps: float = 256_000.0
+    #: Observation window.
+    duration_s: float = 10.0
+    #: RTS/CTS threshold; the model requires every data frame protected
+    #: (bare-DATA tail naps follow different timing).
+    rts_threshold_bytes: int = 500
+    #: "unap" = μNap micro-sleeps; "cam" = same assembly, no napping.
+    power_policy: str = "unap"
+    timing: Dot11Timing = field(default_factory=Dot11Timing)
+    power: RadioPowerConstants = field(default_factory=unap_wlan_constants)
+
+    def __post_init__(self) -> None:
+        if self.n_stations < 1:
+            raise ValueError("n_stations must be >= 1")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.offered_load_bps < 0:
+            raise ValueError("offered_load_bps must be >= 0")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.power_policy not in ("unap", "cam"):
+            raise ValueError(f"unknown power_policy: {self.power_policy!r}")
+        if self.rts_threshold_bytes > self.packet_bytes:
+            raise ValueError(
+                "the unap model assumes RTS/CTS-protected data: "
+                "rts_threshold_bytes must be <= packet_bytes"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "n_stations": self.n_stations,
+            "packet_bytes": self.packet_bytes,
+            "rate_bps": self.rate_bps,
+            "offered_load_bps": self.offered_load_bps,
+            "duration_s": self.duration_s,
+            "rts_threshold_bytes": self.rts_threshold_bytes,
+            "power_policy": self.power_policy,
         }
 
 
@@ -715,6 +784,89 @@ def tcp_station_energy(params: TcpParams) -> TcpEnergyPrediction:
         throughput_bps=throughput,
         tx_utilisation=u_tx,
         rx_utilisation=u_rx,
+        breakdown_w=breakdown,
+        params=params.describe(),
+    )
+
+
+def unap_station_energy(params: UnapParams) -> EnergyPrediction:
+    """Per-station WNIC power in the ``unap-hotspot`` world (μNap or CAM).
+
+    Mirrors :class:`repro.mac.powersave.MicroNapPolicy` over the
+    RTS/CTS-protected uplink the scenario assembles.  Per station, with
+    per-station frame rate ``lambda = offered / (8 * packet_bytes)``:
+
+    * Base draw: idle (a CAM/μNap station never does PSM-style dozing).
+    * Own exchanges: ``tx-idle`` delta for the RTS + DATA it transmits,
+      ``rx-idle`` delta for the CTS + ACK addressed to it, plus the
+      broadcast beacon share.
+    * The ``(n-1) * lambda`` overheard exchanges per second are where
+      the two policies diverge.  Both hear the RTS (rx delta); the NAV
+      it carries reserves the medium for
+      ``W = 3*SIFS + T_cts + T_data + T_ack``.  CAM idles through W and
+      rx-charges the overheard CTS/DATA/ACK; μNap spends W on a
+      doze round trip instead — the exact transition impulses plus doze
+      draw for the remainder — and hears nothing (dozing radios are
+      deaf), landing back in idle exactly at the reservation end.
+
+    Validity: unsaturated offered load (the model has no contention
+    queueing); ``saturated`` flags points past the RTS/CTS exchange
+    capacity, where the prediction degrades.
+    """
+    t = params.timing
+    p = params.power
+    n = params.n_stations
+    lam = params.offered_load_bps / (params.packet_bytes * 8.0)
+    rts_air = t.rts_airtime_s()
+    cts_air = t.cts_airtime_s()
+    ack_air = t.ack_airtime_s()
+    data_air = t.data_airtime_s(params.packet_bytes, params.rate_bps)
+    # NAV window the RTS reserves (everything after the RTS ends).
+    nav_s = 3.0 * t.sifs_s + cts_air + data_air + ack_air
+    exchange = t.difs_s + expected_backoff_s(t) + rts_air + nav_s
+    capacity = (
+        params.packet_bytes * 8.0 * (1.0 - beacon_overhead_frac(t, 0.0)) / exchange
+    )
+    saturated = n * params.offered_load_bps >= capacity
+    rx_delta = max(p.rx_w - p.idle_w, 0.0)
+
+    # Own traffic and the always-on beacon share.
+    u_tx = lam * (rts_air + data_air)
+    own_heard_s = lam * (cts_air + ack_air)
+    beacon_heard_s = beacon_airtime_s(t, 0.0) / t.beacon_interval_s
+    overheard_rate = (n - 1) * lam
+    breakdown = {
+        "idle": p.idle_w,
+        "sleep": 0.0,
+        "tx_delta": (p.tx_w - p.idle_w) * u_tx,
+        "rx_delta": rx_delta * (own_heard_s + beacon_heard_s),
+        "transitions": 0.0,
+    }
+    doze_frac = 0.0
+    if params.power_policy == "cam":
+        # Idle through every overheard reservation, hearing all of it.
+        breakdown["rx_delta"] += (
+            rx_delta * overheard_rate * (rts_air + cts_air + data_air + ack_air)
+        )
+    else:
+        # Hear the RTS, then swap the idle dwell over W for a doze
+        # round trip: fall + doze remainder + rise, ending at idle
+        # exactly when the reservation does.
+        doze_dwell = nav_s - p.sleep_latency_s - p.wake_latency_s
+        breakdown["rx_delta"] += rx_delta * overheard_rate * rts_air
+        breakdown["transitions"] = overheard_rate * (
+            p.sleep_energy_j + p.wake_energy_j
+        )
+        breakdown["sleep"] = overheard_rate * p.sleep_w * doze_dwell
+        breakdown["idle"] -= p.idle_w * overheard_rate * nav_s
+        doze_frac = overheard_rate * doze_dwell
+    power = sum(breakdown.values())
+    return EnergyPrediction(
+        predictor="unap-energy",
+        wnic_power_w=power,
+        energy_j=power * params.duration_s,
+        duty_cycle=max(0.0, 1.0 - doze_frac),
+        saturated=saturated,
         breakdown_w=breakdown,
         params=params.describe(),
     )

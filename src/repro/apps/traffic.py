@@ -11,8 +11,9 @@ so at 44.1 kHz a frame lands every ~26.12 ms and carries
 
 from __future__ import annotations
 
-import random
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sim.streams import Random
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -108,7 +109,7 @@ class Mp3Stream(TrafficSource):
         self,
         bitrate_bps: float = 128_000.0,
         vbr_fraction: float = 0.0,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError("bitrate must be positive")
@@ -143,7 +144,7 @@ class PoissonTraffic(TrafficSource):
         self,
         mean_interarrival_s: float,
         packet_bytes: int,
-        rng: random.Random,
+        rng: Random,
         kind: str = "data",
     ) -> None:
         if mean_interarrival_s <= 0:
@@ -171,7 +172,7 @@ class OnOffTraffic(TrafficSource):
 
     def __init__(
         self,
-        rng: random.Random,
+        rng: Random,
         mean_on_s: float = 2.0,
         mean_off_s: float = 10.0,
         packet_bytes: int = 1460,
@@ -276,7 +277,7 @@ def traffic_kinds() -> List[str]:
 def build_source(
     kind: str = "mp3",
     bitrate_bps: float = 128_000.0,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
     options: Optional[dict] = None,
 ) -> TrafficSource:
     """Construct a source from declarative data (kind + options).

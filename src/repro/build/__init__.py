@@ -54,10 +54,13 @@ from repro.build.spec import (
     uniform_nodes,
 )
 from repro.build.presets import (
+    ecmac_world,
     faulty_hotspot_world,
     fleet_hotspot_world,
     hotspot_world,
+    pamas_world,
     psm_baseline_world,
+    unap_hotspot_world,
     unscheduled_world,
 )
 from repro.build.builder import (
@@ -78,11 +81,14 @@ __all__ = [
     "WorldBuilder",
     "WorldSpec",
     "build_managed_client",
+    "ecmac_world",
     "faulty_hotspot_world",
     "fleet_hotspot_world",
     "hotspot_world",
+    "pamas_world",
     "psm_baseline_world",
     "scripted_quality",
+    "unap_hotspot_world",
     "uniform_nodes",
     "unscheduled_world",
 ]

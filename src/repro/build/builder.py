@@ -488,6 +488,13 @@ class _PsmMode(_DeliveryMode):
     def assemble(self, world: World) -> None:
         from repro.mac import AccessPoint, DcfStation, Medium, PsmConfig, PsmStation
 
+        if world.spec.power_policy in ("unap", "cam"):
+            # The μNap world (and its fair always-awake baseline) shares
+            # the PSM mode's uplink plumbing but swaps the medium, the
+            # radio model and the power policy; a separate assembly path
+            # keeps the historical PSM event sequence byte-identical.
+            self._assemble_unap(world)
+            return
         sim = world.sim
         extras = world.spec.extras
         # The psm-crossval preset parameterises the PSM stack through
@@ -563,6 +570,74 @@ class _PsmMode(_DeliveryMode):
 
             start_traffic(world, node, to_ap)
 
+    def _assemble_unap(self, world: World) -> None:
+        """Uplink senders on a broadcast-overheard medium, policy-driven.
+
+        Every station is a plain CAM :class:`DcfStation` carrying the
+        μNap fast-doze radio; the spec's ``power_policy`` decides whether
+        it actually naps (``"unap"``) or stays awake (``"cam"``, the
+        fair baseline — identical assembly, never sleeps).  The
+        :class:`SpatialMedium` delivers every frame to every station, so
+        overheard RTS/CTS reservations and foreign data tails become nap
+        opportunities exactly as in the μNap paper.
+        """
+        from repro.devices.profiles import unap_wlan_card
+        from repro.mac import (
+            AccessPoint,
+            CamPolicy,
+            DcfConfig,
+            DcfStation,
+            MicroNapPolicy,
+            SpatialMedium,
+        )
+
+        sim = world.sim
+        spec = world.spec
+        rts_threshold = spec.extras.get("rts_threshold_bytes")
+        world.medium = SpatialMedium(sim)
+        world.byte_counts = [0] * len(spec.clients)
+        index_of = {n.name: i for i, n in enumerate(spec.clients)}
+
+        def ap_receive(frame):
+            i = index_of.get(frame.source)
+            if i is not None:
+                world.byte_counts[i] += frame.payload_bytes
+                world.playouts[i].deliver(sim.now, frame.payload_bytes)
+
+        world.access_point = AccessPoint(
+            sim,
+            world.medium,
+            "ap",
+            rng=world.streams.stream("ap"),
+            on_receive=ap_receive,
+        )
+        for node in spec.clients:
+            radio = Radio(sim, unap_wlan_card(), name=f"{node.name}/wlan")
+            playout = PlayoutBuffer(
+                drain_rate_bps=node.contract_rate_bps,
+                prebuffer_s=node.prebuffer_s,
+            )
+            world.playouts.append(playout)
+            world.radios[radio.name] = radio
+            policy = (
+                MicroNapPolicy() if spec.power_policy == "unap" else CamPolicy()
+            )
+            station = DcfStation(
+                sim,
+                world.medium,
+                node.name,
+                rng=world.streams.stream(node.name),
+                config=DcfConfig(rts_threshold_bytes=rts_threshold),
+                radio=radio,
+                power_policy=policy,
+            )
+            world.stations.append(station)
+
+            def to_station(nbytes: int, kind: str, st=station):
+                st.send("ap", nbytes)
+
+            start_traffic(world, node, to_station)
+
     def collect(self, world: World) -> ScenarioResult:
         duration = world.spec.duration_s
         outcomes = []
@@ -585,12 +660,38 @@ class _PsmMode(_DeliveryMode):
                     bytes_received=world.byte_counts[index],
                 )
             )
+        extras: Dict[str, object] = dict(world.spec.extras)
+        naps = 0
+        napped_s = 0.0
+        nap_policies = 0
+        for station in world.stations:
+            policy = getattr(station, "power_policy", None)
+            if policy is not None and hasattr(policy, "naps"):
+                nap_policies += 1
+                naps += policy.naps
+                napped_s += policy.napped_s
+        if nap_policies:
+            # μNap evidence: nap counts plus the sub-10ms doze dwells
+            # only micro-sleeping can produce (PSM dozes at ~100 ms).
+            extras["naps"] = naps
+            extras["napped_s"] = napped_s
+            extras["micro_doze_dwells"] = sum(
+                sum(radio.dwell_histogram("doze")[:3])
+                for radio in world.radios.values()
+            )
+        label = world.spec.label
+        if label is None:
+            label = (
+                f"unap-hotspot[{world.spec.power_policy}]"
+                if world.spec.power_policy in ("unap", "cam")
+                else "802.11-psm"
+            )
         return ScenarioResult(
-            label=world.spec.label or "802.11-psm",
+            label=label,
             duration_s=duration,
             clients=outcomes,
             radios=world.radios,
-            extras=dict(world.spec.extras),
+            extras=extras,
         )
 
 
@@ -717,9 +818,171 @@ class _FleetMode(_DeliveryMode):
         )
 
 
+class _PamasMode(_DeliveryMode):
+    """PAMAS-style battery-aware independent sleeping: every node runs
+    its own awake/sleep cycle whose sleep fraction grows as its battery
+    drains.  There is no traffic and no coordinator — the outcome is the
+    availability-versus-lifetime trade, not a QoS contract."""
+
+    def assemble(self, world: World) -> None:
+        from repro.mac import PamasNode, aggressive_sleep_policy, linear_sleep_policy
+        from repro.phy.battery import Battery
+
+        sim = world.sim
+        extras = world.spec.extras
+        capacity_j = float(extras.get("pamas_capacity_j") or 50.0)
+        cycle_s = float(extras.get("pamas_cycle_s") or 1.0)
+        threshold = float(extras.get("pamas_threshold") or 0.8)
+        duty = extras.get("pamas_duty")
+        policy = (
+            aggressive_sleep_policy(float(duty))
+            if duty is not None
+            else linear_sleep_policy(threshold=threshold)
+        )
+        self.nodes: List[PamasNode] = []
+        for node in world.spec.clients:
+            radio = Radio(sim, wlan_cf_card(), name=f"{node.name}/wlan")
+            world.radios[radio.name] = radio
+            battery = Battery(capacity_j)
+            self.nodes.append(
+                PamasNode(sim, radio, battery, policy=policy, cycle_s=cycle_s)
+            )
+
+    def collect(self, world: World) -> ScenarioResult:
+        from repro.metrics.qos import QosSummary
+
+        duration = world.spec.duration_s
+        outcomes = []
+        deaths = 0
+        availability_total = 0.0
+        for index, radio in enumerate(world.radios.values()):
+            node_spec = world.spec.clients[index]
+            pamas = self.nodes[index]
+            if pamas.stats.died_at_s is not None:
+                deaths += 1
+            availability_total += pamas.stats.availability
+            outcomes.append(
+                ClientOutcome(
+                    name=node_spec.name,
+                    # No stream contract in a PAMAS world; the default
+                    # summary reports an untested (maintained) contract.
+                    qos=QosSummary(),
+                    energy=ClientEnergyReport(
+                        client=node_spec.name,
+                        radios=[EnergyBreakdown.of(radio)],
+                        platform=world.platform,
+                        platform_busy_fraction=0.0,
+                        elapsed_s=duration,
+                    ),
+                    wnic_average_power_w=radio.average_power_w(),
+                    bursts=0,
+                    bytes_received=0,
+                )
+            )
+        extras: Dict[str, object] = {
+            "nodes_died": deaths,
+            "mean_availability": (
+                availability_total / len(self.nodes) if self.nodes else 0.0
+            ),
+        }
+        extras.update(world.spec.extras)
+        return ScenarioResult(
+            label=world.spec.label or "pamas",
+            duration_s=duration,
+            clients=outcomes,
+            radios=world.radios,
+            extras=extras,
+        )
+
+
+class _EcMacMode(_DeliveryMode):
+    """EC-MAC: a coordinator broadcasts per-superframe transmission
+    schedules; stations doze outside their exact windows.  Downlink
+    traffic flows through the coordinator's scheduled windows into each
+    client's playout buffer."""
+
+    def assemble(self, world: World) -> None:
+        from repro.mac import EcMacConfig, EcMacCoordinator, EcMacStation, Medium
+
+        sim = world.sim
+        extras = world.spec.extras
+        superframe_s = float(extras.get("ecmac_superframe_s") or 0.050)
+        config = EcMacConfig(superframe_s=superframe_s)
+        world.medium = Medium(sim)
+        world.byte_counts = [0] * len(world.spec.clients)
+        self.coordinator = EcMacCoordinator(
+            sim, world.medium, "ecmac-ap", config=config
+        )
+        for index, node in enumerate(world.spec.clients):
+            radio = Radio(sim, wlan_cf_card(), name=f"{node.name}/wlan")
+            playout = PlayoutBuffer(
+                drain_rate_bps=node.contract_rate_bps,
+                prebuffer_s=node.prebuffer_s,
+            )
+            world.playouts.append(playout)
+            world.radios[radio.name] = radio
+
+            def on_receive(frame, p=playout, i=index):
+                p.deliver(sim.now, frame.payload_bytes)
+                world.byte_counts[i] += frame.payload_bytes
+
+            station = EcMacStation(
+                sim,
+                world.medium,
+                node.name,
+                self.coordinator,
+                radio,
+                on_receive=on_receive,
+            )
+            world.stations.append(station)
+
+            def to_coordinator(nbytes: int, kind: str, n=node.name):
+                self.coordinator.send_data(n, nbytes)
+
+            start_traffic(world, node, to_coordinator)
+
+    def collect(self, world: World) -> ScenarioResult:
+        duration = world.spec.duration_s
+        outcomes = []
+        for index, radio in enumerate(world.radios.values()):
+            node = world.spec.clients[index]
+            station = world.stations[index]
+            outcomes.append(
+                ClientOutcome(
+                    name=node.name,
+                    qos=world.playouts[index].finish(duration),
+                    energy=ClientEnergyReport(
+                        client=node.name,
+                        radios=[EnergyBreakdown.of(radio)],
+                        platform=world.platform,
+                        platform_busy_fraction=MP3_DECODE_BUSY_FRACTION,
+                        elapsed_s=duration,
+                    ),
+                    wnic_average_power_w=radio.average_power_w(),
+                    bursts=getattr(station, "schedules_heard", 0),
+                    bytes_received=world.byte_counts[index],
+                )
+            )
+        extras: Dict[str, object] = {
+            "superframes": self.coordinator.superframes,
+            "frames_scheduled": self.coordinator.frames_scheduled,
+            "ecmac_retransmissions": self.coordinator.retransmissions,
+        }
+        extras.update(world.spec.extras)
+        return ScenarioResult(
+            label=world.spec.label or "ec-mac",
+            duration_s=duration,
+            clients=outcomes,
+            radios=world.radios,
+            extras=extras,
+        )
+
+
 _MODES = {
     "hotspot": _HotspotMode,
     "unscheduled": _UnscheduledMode,
     "psm": _PsmMode,
     "fleet": _FleetMode,
+    "pamas": _PamasMode,
+    "ecmac": _EcMacMode,
 }

@@ -288,6 +288,127 @@ def psm_crossval_world(
     )
 
 
+def unap_hotspot_world(
+    n_clients: int = 4,
+    duration_s: float = 10.0,
+    offered_load_bps: float = 256_000.0,
+    packet_bytes: int = 1000,
+    rts_threshold_bytes: int = 500,
+    power_policy: str = "unap",
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """μNap micro-sleep workload: uplink senders overhearing each other.
+
+    Every station contends for the same AP on a broadcast-overheard
+    medium with RTS/CTS protection, so each data exchange announces a
+    NAV reservation the *other* stations can nap through.
+    ``power_policy="unap"`` naps (the μNap technique);
+    ``power_policy="cam"`` is the byte-for-byte identical assembly that
+    never sleeps — the fair baseline for the energy-saving claim.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if packet_bytes <= 0:
+        raise ValueError("packet_bytes must be positive")
+    if power_policy not in ("unap", "cam"):
+        raise ValueError("power_policy must be 'unap' or 'cam'")
+    return WorldSpec(
+        delivery="psm",
+        duration_s=duration_s,
+        seed=seed,
+        label=f"unap-hotspot[{power_policy}]",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("wlan", power_policy=power_policy)],
+            TrafficSpec(
+                "poisson",
+                bitrate_bps=offered_load_bps,
+                options={"packet_bytes": packet_bytes},
+            ),
+            buffer_bytes=1 << 30,
+            prefetch_s=0.0,
+        ),
+        platform=platform,
+        power_policy=power_policy,
+        extras={
+            "rts_threshold_bytes": rts_threshold_bytes,
+            "offered_load_bps": offered_load_bps,
+            "packet_bytes": packet_bytes,
+        },
+    )
+
+
+def pamas_world(
+    n_clients: int = 8,
+    duration_s: float = 120.0,
+    capacity_j: float = 50.0,
+    cycle_s: float = 1.0,
+    threshold: float = 0.8,
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """PAMAS battery-aware sleeping: availability vs lifetime, no AP.
+
+    Every node runs the linear sleep policy — fully awake above
+    ``threshold`` state-of-charge, sleeping progressively more as the
+    battery drains below it.
+    """
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if capacity_j <= 0:
+        raise ValueError("battery capacity must be positive")
+    return WorldSpec(
+        delivery="pamas",
+        duration_s=duration_s,
+        seed=seed,
+        label="pamas",
+        clients=uniform_nodes(n_clients, [InterfaceSpec("wlan")], TrafficSpec()),
+        platform=platform,
+        extras={
+            "pamas_capacity_j": capacity_j,
+            "pamas_cycle_s": cycle_s,
+            "pamas_threshold": threshold,
+        },
+    )
+
+
+def ecmac_world(
+    n_clients: int = 3,
+    duration_s: float = 30.0,
+    bitrate_bps: float = 128_000.0,
+    superframe_s: float = 0.050,
+    seed: int = 0,
+    platform=None,
+) -> WorldSpec:
+    """EC-MAC scheduled downlink: exact doze windows, no contention."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if superframe_s <= 0:
+        raise ValueError("superframe must be positive")
+    return WorldSpec(
+        delivery="ecmac",
+        duration_s=duration_s,
+        seed=seed,
+        label="ec-mac",
+        clients=uniform_nodes(
+            n_clients,
+            [InterfaceSpec("wlan")],
+            TrafficSpec("mp3", bitrate_bps=bitrate_bps),
+            buffer_bytes=1 << 30,
+            prefetch_s=0.0,
+        ),
+        platform=platform,
+        extras={"ecmac_superframe_s": superframe_s},
+    )
+
+
 def city_grid_world(
     n_clients: int = 54,
     grid_rows: int = 3,

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 #: Delivery flavours the builder knows how to assemble.
-DELIVERY_MODES = ("hotspot", "unscheduled", "psm", "fleet")
+DELIVERY_MODES = ("hotspot", "unscheduled", "psm", "fleet", "pamas", "ecmac")
 
 #: Interface kinds the builder can construct.
 INTERFACE_KINDS = ("wlan", "bluetooth", "gprs")
@@ -49,11 +49,17 @@ class InterfaceSpec:
         client's cell association instead.
     effective_rate_bps:
         Override the interface's default burst goodput.
+    power_policy:
+        Name of a registered :mod:`repro.mac.powersave` policy to drive
+        this interface's doze/wake decisions (``"cam"``, ``"psm"``,
+        ``"unap"``).  ``None`` inherits the world-level policy (or the
+        delivery mode's historical default).
     """
 
     kind: str
     quality_script: Optional[Tuple[Tuple[float, float], ...]] = None
     effective_rate_bps: Optional[float] = None
+    power_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in INTERFACE_KINDS:
@@ -76,6 +82,7 @@ class InterfaceSpec:
                 else None
             ),
             "effective_rate_bps": self.effective_rate_bps,
+            "power_policy": self.power_policy,
         }
 
 
@@ -275,6 +282,12 @@ class WorldSpec:
         draws).
     fleet:
         The :class:`FleetSpec` for ``delivery="fleet"``.
+    power_policy:
+        World-default :mod:`repro.mac.powersave` policy name applied to
+        every wlan interface that does not override it (``"cam"``,
+        ``"psm"``, ``"unap"``).  ``None`` keeps each delivery mode's
+        historical behaviour (PSM stations run static PSM, everything
+        else stays constantly awake).
     """
 
     delivery: str = "hotspot"
@@ -290,6 +303,7 @@ class WorldSpec:
     platform: Optional[Any] = None
     fault_plan: Optional[Union[Any, Callable[..., Any]]] = None
     fleet: Optional[FleetSpec] = None
+    power_policy: Optional[str] = None
     #: Free-form metadata carried through to ``ScenarioResult.extras``
     #: untouched (must stay JSON-serialisable and deterministic).
     extras: Dict[str, Any] = field(default_factory=dict)
@@ -301,6 +315,14 @@ class WorldSpec:
             )
         if self.delivery == "fleet" and self.fleet is None:
             self.fleet = FleetSpec()
+        if self.power_policy is not None:
+            from repro.mac.powersave import power_policy_names
+
+            if self.power_policy not in power_policy_names():
+                raise ValueError(
+                    f"unknown power policy {self.power_policy!r}; "
+                    f"known: {power_policy_names()}"
+                )
         self.clients = tuple(self.clients)
         names = [node.name for node in self.clients]
         if len(set(names)) != len(names):
@@ -324,6 +346,7 @@ class WorldSpec:
             "utilisation_cap": self.utilisation_cap,
             "clients": [node.describe() for node in self.clients],
             "fleet": self.fleet.describe() if self.fleet else None,
+            "power_policy": self.power_policy,
         }
 
 

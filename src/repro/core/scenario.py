@@ -47,10 +47,13 @@ __all__ = [
     "ScenarioResult",
     "VOLATILE_TIMING_FIELDS",
     "make_stream_contract",
+    "run_ecmac_scenario",
     "run_faulty_hotspot_scenario",
     "run_hotspot_scenario",
+    "run_pamas_scenario",
     "run_psm_baseline_scenario",
     "run_psm_crossval_scenario",
+    "run_unap_hotspot_scenario",
     "run_unscheduled_scenario",
 ]
 
@@ -266,6 +269,90 @@ def run_psm_crossval_scenario(
         packet_bytes=packet_bytes,
         listen_interval=listen_interval,
         direction=direction,
+        seed=seed,
+        platform=platform,
+    )
+    return WorldBuilder(spec).run(obs=obs)
+
+
+def run_unap_hotspot_scenario(
+    n_clients: int = 4,
+    duration_s: float = 10.0,
+    offered_load_bps: float = 256_000.0,
+    packet_bytes: int = 1000,
+    rts_threshold_bytes: int = 500,
+    power_policy: str = "unap",
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    obs=None,
+) -> ScenarioResult:
+    """μNap micro-sleeps: stations doze through overheard reservations.
+
+    Uplink senders on a broadcast-overheard medium with RTS/CTS; each
+    exchange's NAV reservation is a nap opportunity for every other
+    station.  ``power_policy="cam"`` runs the identical world without
+    napping — the baseline the energy-saving claim is made against.
+    """
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import unap_hotspot_world
+
+    spec = unap_hotspot_world(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        offered_load_bps=offered_load_bps,
+        packet_bytes=packet_bytes,
+        rts_threshold_bytes=rts_threshold_bytes,
+        power_policy=power_policy,
+        seed=seed,
+        platform=platform,
+    )
+    return WorldBuilder(spec).run(obs=obs)
+
+
+def run_pamas_scenario(
+    n_clients: int = 8,
+    duration_s: float = 120.0,
+    capacity_j: float = 50.0,
+    cycle_s: float = 1.0,
+    threshold: float = 0.8,
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    obs=None,
+) -> ScenarioResult:
+    """PAMAS battery-aware independent sleeping (availability/lifetime)."""
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import pamas_world
+
+    spec = pamas_world(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        capacity_j=capacity_j,
+        cycle_s=cycle_s,
+        threshold=threshold,
+        seed=seed,
+        platform=platform,
+    )
+    return WorldBuilder(spec).run(obs=obs)
+
+
+def run_ecmac_scenario(
+    n_clients: int = 3,
+    duration_s: float = 30.0,
+    bitrate_bps: float = 128_000.0,
+    superframe_s: float = 0.050,
+    seed: int = 0,
+    platform: Optional[DeviceProfile] = None,
+    obs=None,
+) -> ScenarioResult:
+    """EC-MAC scheduled downlink with exact, collision-free doze windows."""
+    from repro.build.builder import WorldBuilder
+    from repro.build.presets import ecmac_world
+
+    spec = ecmac_world(
+        n_clients=n_clients,
+        duration_s=duration_s,
+        bitrate_bps=bitrate_bps,
+        superframe_s=superframe_s,
         seed=seed,
         platform=platform,
     )

@@ -23,10 +23,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.scenario import (
+    run_ecmac_scenario,
     run_faulty_hotspot_scenario,
     run_hotspot_scenario,
+    run_pamas_scenario,
     run_psm_baseline_scenario,
     run_psm_crossval_scenario,
+    run_unap_hotspot_scenario,
     run_unscheduled_scenario,
 )
 from repro.net.scenario import run_city_grid_scenario, run_fleet_hotspot_scenario
@@ -184,11 +187,14 @@ def _register_builtins() -> None:
     # repro.net, both of which may be mid-import when this module loads.
     from repro.build.presets import (
         city_grid_world,
+        ecmac_world,
         faulty_hotspot_world,
         fleet_hotspot_world,
         hotspot_world,
+        pamas_world,
         psm_baseline_world,
         psm_crossval_world,
+        unap_hotspot_world,
         unscheduled_world,
     )
 
@@ -198,10 +204,46 @@ def _register_builtins() -> None:
     )
     register_scenario("unscheduled", run_unscheduled_scenario, unscheduled_world)
     register_scenario(
-        "psm-baseline", run_psm_baseline_scenario, psm_baseline_world
+        "psm-baseline",
+        run_psm_baseline_scenario,
+        psm_baseline_world,
+        description=(
+            "802.11 PSM on the packet MAC — when a standard beacon/TIM "
+            "doze cycle is the right power-saving technique"
+        ),
     )
     register_scenario(
         "psm-crossval", run_psm_crossval_scenario, psm_crossval_world
+    )
+    register_scenario(
+        "unap-hotspot",
+        run_unap_hotspot_scenario,
+        unap_hotspot_world,
+        description=(
+            "μNap micro-sleeps through overheard NAV reservations — when "
+            "traffic is too chatty for PSM but the air is busy with "
+            "other stations' exchanges"
+        ),
+    )
+    register_scenario(
+        "pamas",
+        run_pamas_scenario,
+        pamas_world,
+        description=(
+            "PAMAS battery-level-driven independent sleep — when node "
+            "lifetime matters more than reachability and there is no "
+            "coordinator to ask"
+        ),
+    )
+    register_scenario(
+        "ecmac",
+        run_ecmac_scenario,
+        ecmac_world,
+        description=(
+            "EC-MAC centrally scheduled doze windows — when a base "
+            "station can broadcast exact transmission times and "
+            "contention (and its energy waste) should be designed out"
+        ),
     )
     register_scenario(
         "fleet-hotspot", run_fleet_hotspot_scenario, fleet_hotspot_world

@@ -4,6 +4,9 @@ Implements every MAC-level technique the paper's survey names:
 
 - :mod:`repro.mac.dcf` — the 802.11 distributed coordination function
   (CSMA/CA with binary exponential backoff) as the contention substrate;
+- :mod:`repro.mac.powersave` — the pluggable :class:`PowerPolicy` seam all
+  station doze/wake decisions route through (CAM, static PSM, μNap
+  micro-sleeps), with a registry for naming policies in specs;
 - :mod:`repro.mac.psm` — the 802.11 power-saving standard: beacons carry a
   traffic-indication map, dozing stations wake per beacon and PS-Poll for
   buffered frames;
@@ -20,6 +23,16 @@ Implements every MAC-level technique the paper's survey names:
 from repro.mac.frames import Dot11Timing, Frame, FrameKind
 from repro.mac.medium import Medium
 from repro.mac.dcf import DcfConfig, DcfStation
+from repro.mac.powersave import (
+    CamPolicy,
+    MicroNapPolicy,
+    PowerPolicy,
+    StaticPsmPolicy,
+    make_power_policy,
+    power_policy_description,
+    power_policy_names,
+    register_power_policy,
+)
 from repro.mac.psm import AccessPoint, PsmConfig, PsmStation
 from repro.mac.ecmac import EcMacConfig, EcMacCoordinator, EcMacStation, ScheduleEntry
 from repro.mac.aggregation import AggregatorStats, PacketAggregator
@@ -39,6 +52,7 @@ __all__ = [
     "AggregatorStats",
     "ArfRateController",
     "BluetoothLink",
+    "CamPolicy",
     "DcfConfig",
     "DcfStation",
     "Dot11Timing",
@@ -48,14 +62,21 @@ __all__ = [
     "Frame",
     "FrameKind",
     "Medium",
+    "MicroNapPolicy",
     "PacketAggregator",
     "PamasNode",
     "PamasStats",
+    "PowerPolicy",
     "PsmConfig",
     "PsmStation",
     "ScheduleEntry",
     "SpatialMedium",
+    "StaticPsmPolicy",
     "aggressive_sleep_policy",
     "audibility_from_groups",
     "linear_sleep_policy",
+    "make_power_policy",
+    "power_policy_description",
+    "power_policy_names",
+    "register_power_policy",
 ]

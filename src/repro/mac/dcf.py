@@ -17,7 +17,6 @@ the energy integral correct.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
@@ -27,8 +26,10 @@ from repro.sim.events import AnyOf as _AnyOf
 from repro.sim.events import Event
 from repro.sim.events import Timeout as _Timeout
 from repro.sim.resources import Store
+from repro.sim.streams import Random
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.powersave import PowerPolicy
     from repro.phy.radio import Radio
     from repro.sim.core import Simulator
 
@@ -74,6 +75,11 @@ class DcfStation:
     on_receive:
         Callback ``f(frame)`` invoked for each *new* (deduplicated) data
         frame addressed to this station.
+    power_policy:
+        Optional :class:`~repro.mac.powersave.PowerPolicy` that observes
+        MAC events (NAV reservations, exchange completions) and may run
+        its own doze/wake driver.  ``None`` keeps the historical
+        always-on behaviour with zero dispatch overhead.
     """
 
     def __init__(
@@ -81,18 +87,20 @@ class DcfStation:
         sim: "Simulator",
         medium: Medium,
         address: str,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         config: Optional[DcfConfig] = None,
         radio: Optional["Radio"] = None,
         on_receive: Optional[Callable[[Frame], None]] = None,
+        power_policy: Optional["PowerPolicy"] = None,
     ) -> None:
         self.sim = sim
         self.medium = medium
         self.address = address
-        self.rng = rng or random.Random(hash(address) & 0xFFFF)
+        self.rng = rng or Random(hash(address) & 0xFFFF)
         self.config = config or DcfConfig()
         self.radio = radio
         self.on_receive = on_receive
+        self.power_policy = power_policy
         self._queue: Store = Store(sim, capacity=self.config.queue_capacity)
         self._awaiting_ack: Optional[Event] = None
         self._awaiting_cts: Optional[Event] = None
@@ -111,6 +119,8 @@ class DcfStation:
         self.retransmissions = 0
         self.bytes_received = 0
         self.bytes_sent = 0
+        if power_policy is not None:
+            power_policy.bind(self)
         medium.register(self)
         self._sender = sim.process(self._sender_loop(), name=f"dcf:{address}")
 
@@ -176,6 +186,7 @@ class DcfStation:
             # Dozing / powered-off / mid-transition radios hear nothing.
             return
         self._charge_rx(frame)
+        policy = self.power_policy
         if (
             frame.nav_duration_s > 0
             and frame.destination not in (self.address, BROADCAST)
@@ -184,6 +195,23 @@ class DcfStation:
             self._nav_until = max(
                 self._nav_until, self.sim.now + frame.nav_duration_s
             )
+            if policy is not None:
+                policy.on_nav_set(self._nav_until, frame)
+        elif (
+            policy is not None
+            and frame.kind is FrameKind.DATA
+            and frame.destination not in (self.address, BROADCAST)
+        ):
+            # Overheard foreign data: the exchange implicitly owns the
+            # medium for the SIFS + ACK tail (802.11 duration semantics
+            # this simulator does not stamp on plain data frames).  This
+            # never touches the NAV -- it only informs the power policy.
+            tail_until = (
+                self.sim.now
+                + self.timing.sifs_s
+                + self.timing.ack_airtime_s()
+            )
+            policy.on_nav_set(tail_until, frame)
         if frame.kind is FrameKind.ACK:
             if frame.destination == self.address and self._awaiting_ack is not None:
                 pending, self._awaiting_ack = self._awaiting_ack, None
@@ -280,6 +308,8 @@ class DcfStation:
             else:
                 self.frames_dropped += 1
             entry.done.succeed(success)
+            if self.power_policy is not None:
+                self.power_policy.on_exchange_end(self.sim.now)
 
     def _contend_and_send(self, frame: Frame):
         """Full DCF exchange for one frame; returns success as a bool."""

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 import math
-import random
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.streams import Random
 
 _LIGHT_SPEED_M_S = 299_792_458.0
 
@@ -239,7 +240,7 @@ class LogDistancePathLoss:
 class LogNormalShadowing:
     """Additive log-normal shadowing on top of a deterministic path loss."""
 
-    def __init__(self, path_loss, sigma_db: float, rng: random.Random) -> None:
+    def __init__(self, path_loss, sigma_db: float, rng: Random) -> None:
         if sigma_db < 0:
             raise ValueError("shadowing sigma must be >= 0")
         self.path_loss = path_loss
@@ -273,7 +274,7 @@ class GilbertElliottChannel:
         ber_good: float = 1e-6,
         ber_bad: float = 1e-2,
         slot_s: float = 0.01,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         start_good: bool = True,
     ) -> None:
         for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good)):
@@ -289,7 +290,7 @@ class GilbertElliottChannel:
         self.ber_good = ber_good
         self.ber_bad = ber_bad
         self.slot_s = slot_s
-        self._rng = rng or random.Random(0)
+        self._rng = rng or Random(0)
         self._good = start_good
         self._time = 0.0
         # (ber, bits) -> PER memo: a chain sees two BERs and a handful
@@ -383,7 +384,7 @@ class RayleighBlockFading:
     def __init__(
         self,
         coherence_time_s: float = 0.02,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Random] = None,
         mean_gain: float = 1.0,
     ) -> None:
         if coherence_time_s <= 0:
@@ -392,7 +393,7 @@ class RayleighBlockFading:
             raise ValueError("mean gain must be positive")
         self.coherence_time_s = coherence_time_s
         self.mean_gain = mean_gain
-        self._rng = rng or random.Random(0)
+        self._rng = rng or Random(0)
         self._block = -1
         self._gain = self._draw()
 

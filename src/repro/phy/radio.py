@@ -25,6 +25,28 @@ from repro.sim.stats import TimeSeries, TimeWeightedStat
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
 
+#: Upper bounds (s) of the dwell-duration histogram buckets.  The decade
+#: spacing separates μNap-scale micro-dwells (sub-millisecond) from PSM
+#: beacon-scale dwells (~100 ms) in one compact table.
+DWELL_BUCKETS_S: Tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1)
+
+#: Human-readable labels, one per bucket plus the open-ended tail.
+DWELL_BUCKET_LABELS: Tuple[str, ...] = (
+    "<100us",
+    "<1ms",
+    "<10ms",
+    "<100ms",
+    ">=100ms",
+)
+
+
+def dwell_bucket_index(duration_s: float) -> int:
+    """Index of the histogram bucket a dwell of ``duration_s`` lands in."""
+    for index, bound in enumerate(DWELL_BUCKETS_S):
+        if duration_s < bound:
+            return index
+    return len(DWELL_BUCKETS_S)
+
 
 @dataclass(frozen=True, slots=True)
 class PowerState:
@@ -176,6 +198,10 @@ class Radio:
         self.state_series = TimeSeries(name=f"{self.name}.state")
         self.state_series.append(sim.now, self._state)
         self._state_durations: Dict[str, float] = {}
+        #: Per-state dwell-duration histograms: state -> bucket counts
+        #: (see DWELL_BUCKETS_S).  Settled dwells only; every completed
+        #: state change contributes exactly one count.
+        self._dwell_histograms: Dict[str, list] = {}
         self._last_state_change = sim.now
         self._transition_energy_j = 0.0
         self._transition_count = 0
@@ -266,6 +292,11 @@ class Radio:
             self._state_durations[self._state] = (
                 self._state_durations.get(self._state, 0.0) + held
             )
+            histogram = self._dwell_histograms.get(self._state)
+            if histogram is None:
+                histogram = [0] * (len(DWELL_BUCKETS_S) + 1)
+                self._dwell_histograms[self._state] = histogram
+            histogram[dwell_bucket_index(held)] += 1
         self._last_state_change = self.sim.now
 
     def force_state(self, state_name: str) -> None:
@@ -315,6 +346,26 @@ class Radio:
     def transition_energy_j(self) -> float:
         """Energy spent purely on state changes so far."""
         return self._transition_energy_j
+
+    def dwell_histogram(self, state_name: str) -> Tuple[int, ...]:
+        """Completed-dwell counts for ``state_name``, one per bucket.
+
+        Buckets follow :data:`DWELL_BUCKETS_S` (labels in
+        :data:`DWELL_BUCKET_LABELS`).  The dwell currently in progress is
+        not counted until the next state change.
+        """
+        self.model._require(state_name)
+        histogram = self._dwell_histograms.get(state_name)
+        if histogram is None:
+            return (0,) * (len(DWELL_BUCKETS_S) + 1)
+        return tuple(histogram)
+
+    def dwell_histograms(self) -> Dict[str, Tuple[int, ...]]:
+        """All non-empty per-state dwell histograms, keyed by state name."""
+        return {
+            state: tuple(histogram)
+            for state, histogram in sorted(self._dwell_histograms.items())
+        }
 
     def time_in_state(self, state_name: str) -> float:
         """Total time spent *settled* in ``state_name`` (transitions excluded)."""

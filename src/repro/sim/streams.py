@@ -11,6 +11,13 @@ from __future__ import annotations
 import random
 from typing import Dict
 
+#: Re-export of the stdlib generator class.  Code under ``repro`` must
+#: obtain randomness through :class:`RandomStreams` substreams or this
+#: alias (for annotations and explicitly-seeded fallbacks) — the lint
+#: rule banning ``import random`` outside this module keeps unseeded
+#: draws from silently breaking the determinism contract.
+Random = random.Random
+
 
 class RandomStreams:
     """A factory of independent, reproducible :class:`random.Random` streams.

@@ -1,0 +1,140 @@
+"""Power-policy seam: registry, hook contract, μNap timing math."""
+
+import pytest
+
+from repro.devices.profiles import unap_wlan_card
+from repro.mac import Medium
+from repro.mac.dcf import DcfStation
+from repro.mac.powersave import (
+    CamPolicy,
+    MicroNapPolicy,
+    PowerPolicy,
+    StaticPsmPolicy,
+    make_power_policy,
+    power_policy_description,
+    power_policy_names,
+    register_power_policy,
+)
+from repro.phy import Radio
+from repro.sim import Simulator
+
+
+class TestRegistry:
+    def test_builtins_registered_with_descriptions(self):
+        assert power_policy_names() == ["cam", "psm", "unap"]
+        for name in power_policy_names():
+            assert power_policy_description(name)
+
+    def test_make_power_policy(self):
+        assert isinstance(make_power_policy("unap"), MicroNapPolicy)
+        assert isinstance(make_power_policy("psm"), StaticPsmPolicy)
+        assert type(make_power_policy("cam")) is CamPolicy
+
+    def test_factory_kwargs_forwarded(self):
+        policy = make_power_policy("unap", min_nap_s=2e-3)
+        assert policy.min_nap_s == 2e-3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown power policy"):
+            make_power_policy("nope")
+
+    def test_reregister_same_factory_is_idempotent(self):
+        register_power_policy(
+            "unap", MicroNapPolicy, power_policy_description("unap")
+        )
+        assert power_policy_names() == ["cam", "psm", "unap"]
+
+    def test_conflicting_factory_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_power_policy("cam", MicroNapPolicy)
+
+
+def _station(sim, policy, address="sta"):
+    return DcfStation(
+        sim,
+        Medium(sim),
+        address,
+        radio=Radio(sim, unap_wlan_card(), name=f"{address}/wlan"),
+        power_policy=policy,
+    )
+
+
+class TestPowerPolicyBase:
+    def test_base_policy_is_cam_and_never_sleeps(self):
+        policy = PowerPolicy()
+        assert policy.name == "cam"
+        assert CamPolicy is PowerPolicy
+        assert policy.sleep_opportunity(0.0) is None
+
+    def test_bind_twice_rejected(self):
+        sim = Simulator()
+        policy = PowerPolicy()
+        _station(sim, policy)
+        with pytest.raises(RuntimeError, match="already bound"):
+            policy.bind(object())
+
+    def test_hooks_are_no_ops(self):
+        sim = Simulator()
+        policy = _station(sim, PowerPolicy()).power_policy
+        policy.on_beacon(None)
+        policy.on_tim_hit(("sta",))
+        policy.on_tim_miss(None)
+        policy.on_nav_set(1.0, None)
+        policy.on_exchange_end(0.5)
+        assert policy.sleep_opportunity(0.0) is None
+
+
+class TestMicroNapTiming:
+    def test_break_even_derived_from_card_at_bind(self):
+        sim = Simulator()
+        policy = MicroNapPolicy()
+        assert policy.min_nap_s == float("inf")  # unbound: never naps
+        _station(sim, policy)
+        # unap card: 50us/24uJ down, 250us/120uJ up, idle 0.83 W,
+        # doze 0.13 W.  Energy break-even:
+        # (24u + 120u - 0.13*300u) / (0.83 - 0.13) = 150us, dominated by
+        # the 300us physical round trip.
+        assert policy.min_nap_s == pytest.approx(300e-6)
+
+    def test_explicit_floor_wins_over_derivation(self):
+        sim = Simulator()
+        policy = MicroNapPolicy(min_nap_s=1e-3)
+        _station(sim, policy)
+        assert policy.min_nap_s == 1e-3
+
+    def test_guard_widens_the_derived_floor(self):
+        sim = Simulator()
+        policy = MicroNapPolicy(guard_s=1e-4)
+        _station(sim, policy)
+        assert policy.min_nap_s == pytest.approx(4e-4)
+
+    def test_negative_guard_rejected(self):
+        with pytest.raises(ValueError, match="guard"):
+            MicroNapPolicy(guard_s=-1e-6)
+
+    def test_requires_a_radio(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="requires a station with a radio"):
+            DcfStation(
+                sim, Medium(sim), "bare", power_policy=MicroNapPolicy()
+            )
+
+    def test_sleep_opportunity_budgets_the_wake_transition(self):
+        sim = Simulator()
+        policy = MicroNapPolicy()
+        _station(sim, policy)
+        assert policy.sleep_opportunity(0.0) is None  # no reservation yet
+        policy._reservation_until = 2e-3
+        plan = policy.sleep_opportunity(0.0)
+        assert plan is not None
+        doze_until, state = plan
+        assert state == "doze"
+        # Wake 250us early so the radio is listening at reservation end.
+        assert doze_until == pytest.approx(2e-3 - 250e-6)
+
+    def test_window_below_floor_declines(self):
+        sim = Simulator()
+        policy = MicroNapPolicy()
+        _station(sim, policy)
+        policy._reservation_until = 200e-6  # < 300us break-even
+        assert policy.sleep_opportunity(0.0) is None

@@ -211,3 +211,122 @@ class TestRadio:
         )
         total = state_energy + radio.transition_energy_j
         assert radio.energy_j() == pytest.approx(total)
+
+
+class TestForceStateAndImpulseEdges:
+    """Edge cases of the checkpoint/restore surface (force_state,
+    add_energy_impulse) interacting with ordinary accounting."""
+
+    def test_force_state_mid_transition_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            yield radio.transition_to("sleep")
+            transition = radio.transition_to("on")  # 0.5 s wake
+            yield sim.timeout(0.25)  # halfway through the wake
+            assert radio.in_transition
+            with pytest.raises(RuntimeError, match="mid-transition"):
+                radio.force_state("sleep")
+            yield transition
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        # The wake itself must have completed untouched by the failed force.
+        assert radio.state == "on"
+        assert not radio.in_transition
+
+    def test_impulse_at_t0_before_any_state_accounting(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        radio.add_energy_impulse(0.75)
+        # Nothing has dwelled yet: the impulse is the whole ledger.
+        assert radio.energy_j(0.0) == pytest.approx(0.75)
+        sim.run(until=2.0)
+        # ... and it stays additive over the first real dwell.
+        assert radio.energy_j() == pytest.approx(0.75 + 2.0)
+
+    def test_negative_impulse_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        with pytest.raises(ValueError):
+            radio.add_energy_impulse(-1e-9)
+
+    def test_energy_monotone_across_force_impulse_force(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        samples = []
+
+        def driver(sim, radio):
+            yield sim.timeout(1.0)
+            samples.append(radio.energy_j())
+            radio.force_state("sleep")      # free, no impulse
+            samples.append(radio.energy_j())
+            yield sim.timeout(1.0)
+            samples.append(radio.energy_j())
+            radio.add_energy_impulse(0.5)
+            samples.append(radio.energy_j())
+            radio.force_state("on")         # free again
+            samples.append(radio.energy_j())
+            yield sim.timeout(1.0)
+            samples.append(radio.energy_j())
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        assert samples == sorted(samples)
+        # 1 s on + 1 s sleep + 0.5 J impulse + 1 s on; forces are free.
+        assert radio.energy_j() == pytest.approx(1.0 + 0.1 + 0.5 + 1.0)
+        assert radio.transition_energy_j == 0.0
+        assert radio.transition_count == 0
+
+    def test_force_state_same_state_is_a_noop(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        sim.run(until=1.0)
+        radio.force_state("on")
+        assert radio.dwell_histograms() == {}
+        assert radio.energy_j() == pytest.approx(1.0)
+
+
+class TestDwellHistograms:
+    def test_buckets_capture_completed_dwells(self):
+        from repro.phy.radio import DWELL_BUCKETS_S, dwell_bucket_index
+
+        assert dwell_bucket_index(50e-6) == 0           # <100us
+        assert dwell_bucket_index(5e-4) == 1            # <1ms
+        assert dwell_bucket_index(5e-3) == 2            # <10ms
+        assert dwell_bucket_index(5e-2) == 3            # <100ms
+        assert dwell_bucket_index(1.0) == len(DWELL_BUCKETS_S)
+
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+
+        def driver(sim, radio):
+            for dwell in (50e-6, 5e-3, 5e-2):
+                yield sim.timeout(dwell)        # dwell in "on"
+                yield radio.transition_to("sleep")
+                yield sim.timeout(1.0)          # dwell in "sleep"
+                yield radio.transition_to("on")
+
+        sim.process(driver(sim, radio))
+        sim.run()
+        on = radio.dwell_histogram("on")
+        assert on[0] == 1 and on[2] == 1 and on[3] == 1
+        # The three 1 s sleeps land in the top bucket; wake transitions
+        # (0.5 s each) must not be counted as dwells anywhere.
+        assert radio.dwell_histogram("sleep") == (0, 0, 0, 0, 3)
+        assert sum(on) == 3
+
+    def test_open_dwell_not_counted_until_closed(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        sim.run(until=5.0)
+        assert radio.dwell_histogram("on") == (0, 0, 0, 0, 0)
+        radio.force_state("sleep")  # closes the 5 s "on" dwell
+        assert radio.dwell_histogram("on") == (0, 0, 0, 0, 1)
+
+    def test_unknown_state_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, two_state_model())
+        with pytest.raises(KeyError):
+            radio.dwell_histogram("ghost")
